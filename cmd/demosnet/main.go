@@ -1,0 +1,163 @@
+// Demosnet is a scripted playground: it boots a DEMOS/MP cluster with
+// publishing on the medium of your choice, runs a request/reply workload,
+// injects the crashes you ask for, and streams the simulation's event trace
+// so you can watch detection, replay, suppression, and recovery happen.
+//
+// Usage:
+//
+//	go run ./cmd/demosnet                              # default scenario
+//	go run ./cmd/demosnet -medium ether -trace         # watch every event
+//	go run ./cmd/demosnet -crash-node 1 -crash-at 2s
+//	go run ./cmd/demosnet -crash-recorder -crash-at 3s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"publishing"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+func main() {
+	var (
+		medium    = flag.String("medium", "perfect", "perfect | ether | ackether | ring | star")
+		nodes     = flag.Int("nodes", 3, "processing nodes")
+		msgs      = flag.Int("msgs", 12, "messages the producer sends")
+		crashProc = flag.Bool("crash-proc", true, "crash the worker process")
+		crashNode = flag.Int("crash-node", -1, "crash a whole node instead")
+		crashRec  = flag.Bool("crash-recorder", false, "crash the recorder too")
+		crashAt   = flag.Duration("crash-at", 1200*time.Millisecond, "when to inject the crash (virtual)")
+		showTrace = flag.Bool("trace", false, "stream the full event trace")
+		seed      = flag.Uint64("seed", 1, "determinism seed")
+	)
+	flag.Parse()
+
+	cfg := publishing.DefaultConfig(*nodes)
+	cfg.Medium = publishing.MediumKind(*medium)
+	cfg.Seed = *seed
+	c := publishing.New(cfg)
+	if *showTrace {
+		c.Trace().SetSink(os.Stdout)
+	} else {
+		c.Trace().SetFilter(func(e trace.Event) bool {
+			switch e.Kind {
+			case trace.KindCrash, trace.KindDetect, trace.KindRecoveryStart,
+				trace.KindRecoveryDone, trace.KindSuppress, trace.KindCheckpoint:
+				return true
+			}
+			return false
+		})
+		c.Trace().SetSink(os.Stdout)
+	}
+
+	var received []string
+	c.Registry().RegisterMachine("sink", func(args []byte) publishing.Machine {
+		return sinkMachine{f: func(s string) { received = append(received, s) }}
+	})
+	c.Registry().RegisterMachine("worker", func(args []byte) publishing.Machine { return &workerMachine{} })
+	c.Registry().RegisterProgram("producer", func(args []byte) publishing.Program {
+		return func(ctx *publishing.PCtx) {
+			wl, _ := ctx.ServiceLink("worker")
+			for i := 1; i <= *msgs; i++ {
+				_ = ctx.Send(wl, []byte{byte(i)}, publishing.NoLink)
+				ctx.Compute(200 * publishing.Millisecond)
+			}
+		}
+	})
+
+	snk, err := c.Spawn(publishing.NodeID(*nodes-1), publishing.ProcSpec{Name: "sink", Recoverable: true})
+	die(err)
+	c.SetService("sink", snk)
+	worker, err := c.Spawn(1%publishing.NodeID(*nodes), publishing.ProcSpec{Name: "worker", Recoverable: true})
+	die(err)
+	c.SetService("worker", worker)
+	_, err = c.Spawn(0, publishing.ProcSpec{Name: "producer", Recoverable: true})
+	die(err)
+
+	at := simtime.Time(crashAt.Nanoseconds())
+	c.Scheduler().At(at, func() {
+		switch {
+		case *crashNode >= 0:
+			fmt.Printf("--- injecting processor crash on node %d ---\n", *crashNode)
+			c.CrashNode(publishing.NodeID(*crashNode))
+		case *crashProc:
+			fmt.Println("--- injecting process fault into the worker ---")
+			c.CrashProcess(worker)
+		}
+		if *crashRec {
+			fmt.Println("--- crashing the recorder ---")
+			c.CrashRecorder()
+			c.Scheduler().After(3*publishing.Second, func() {
+				fmt.Println("--- restarting the recorder ---")
+				_ = c.RestartRecorder()
+			})
+		}
+	})
+
+	c.Run(3 * publishing.Minute)
+
+	fmt.Printf("\nsink received %d/%d messages: %v\n", len(received), *msgs, received)
+	if r := c.Recorder(); r != nil {
+		s := r.Stats()
+		fmt.Printf("recorder: published=%d replayed=%d recoveries=%d/%d checkpoints=%d\n",
+			s.ArrivalsRecorded, s.MessagesReplayed, s.RecoveriesCompleted, s.RecoveriesStarted, s.CheckpointsStored)
+	}
+	fmt.Printf("medium: %v\n", c.Medium().Stats())
+	for _, n := range c.Nodes() {
+		k := c.Kernel(n)
+		fmt.Printf("node %d: %d msgs sent, %d suppressed, kernel CPU %v\n",
+			n, k.Stats().MsgsSent, k.Stats().Suppressed, k.KernelCPU())
+	}
+}
+
+type workerMachine struct {
+	st struct {
+		Out    publishing.LinkID
+		HasOut bool
+		N      int
+	}
+}
+
+func (w *workerMachine) Init(ctx *publishing.PCtx) {
+	if l, err := ctx.ServiceLink("sink"); err == nil {
+		w.st.Out, w.st.HasOut = l, true
+	}
+}
+func (w *workerMachine) Handle(ctx *publishing.PCtx, m publishing.Msg) {
+	w.st.N++
+	if w.st.HasOut {
+		_ = ctx.Send(w.st.Out, []byte(fmt.Sprintf("#%d(val=%d)", w.st.N, m.Body[0])), publishing.NoLink)
+	}
+}
+func (w *workerMachine) Snapshot() ([]byte, error) {
+	return []byte{byte(w.st.N), bo(w.st.HasOut), byte(w.st.Out)}, nil
+}
+func (w *workerMachine) Restore(b []byte) error {
+	w.st.N, w.st.HasOut, w.st.Out = int(b[0]), b[1] == 1, publishing.LinkID(b[2])
+	return nil
+}
+
+func bo(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+type sinkMachine struct{ f func(string) }
+
+func (s sinkMachine) Init(ctx *publishing.PCtx)                     {}
+func (s sinkMachine) Handle(ctx *publishing.PCtx, m publishing.Msg) { s.f(string(m.Body)) }
+func (s sinkMachine) Snapshot() ([]byte, error)                     { return nil, nil }
+func (s sinkMachine) Restore(b []byte) error                        { return nil }
+
+func die(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,282 @@
+package publishing
+
+import (
+	"fmt"
+	"testing"
+
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// Transparent recovery must hold even on a lossy wire: frame loss is
+// absorbed by retransmission, tap misses by publish-before-use.
+func TestRecoveryUnderLossyWire(t *testing.T) {
+	cfg := DefaultConfig(3)
+	// Watchdog pings are unguaranteed; on a lossy wire the default
+	// 3-miss threshold false-positives (and a false positive restarts a
+	// healthy process — §3.3.4 semantics). Detection thresholds must be
+	// provisioned for the medium's loss rate.
+	cfg.MissThreshold = 10
+	c, sink, worker := buildScenario(t, cfg, 10)
+	c.Medium().Faults().LossProb = 0.15
+	c.Scheduler().At(1300*simtime.Millisecond, func() { c.CrashProcess(worker) })
+	c.Run(3 * simtime.Minute)
+	expectSteps(t, sink, 10)
+	if c.Medium().Stats().FramesLost == 0 {
+		t.Fatal("the wire was not actually lossy")
+	}
+}
+
+// Publish-before-use under a flaky recorder store: frames the recorder
+// fails to record never reach their destinations, so nothing is ever
+// usable-but-unrecoverable. Retransmission gets everything through.
+func TestFlakyRecorderStoreStillExactlyOnce(t *testing.T) {
+	cfg := DefaultConfig(3)
+	c := New(cfg)
+	sink := &witnessSink{}
+	registerWitness(c, sink)
+	registerWorker(c)
+	registerProducer(c, 10, 200*simtime.Millisecond)
+	wit, _ := c.Spawn(2, ProcSpec{Name: "witness", Recoverable: true})
+	c.SetService("witness", wit)
+	worker, _ := c.Spawn(1, ProcSpec{Name: "worker", Recoverable: true})
+	c.SetService("worker", worker)
+	c.Spawn(0, ProcSpec{Name: "producer", Recoverable: true})
+	// 20% of tap observations fail: the medium must block those frames.
+	c.Medium().Faults().TapMissProb = 0.2
+	c.Scheduler().At(1300*simtime.Millisecond, func() { c.CrashProcess(worker) })
+	c.Run(3 * simtime.Minute)
+	expectSteps(t, sink, 10)
+	if c.Medium().Stats().RecorderBlocks == 0 {
+		t.Fatal("no frames were ever blocked; the fault injection is dead")
+	}
+}
+
+// §3.6: with a single recorder, a partition wedges the side without the
+// recorder; healing resumes it. (The paper declares the general case
+// unsolvable with one recorder; the safe behaviour is to wait.)
+func TestPartitionSuspendsAndHeals(t *testing.T) {
+	cfg := DefaultConfig(3)
+	c, sink, _ := buildScenario(t, cfg, 12)
+	// Partition node 0 (the producer) away from everyone else after a bit.
+	c.Scheduler().At(900*simtime.Millisecond, func() {
+		c.Medium().Faults().SetPartition(0, 1)
+	})
+	c.Run(5 * simtime.Second)
+	during := len(sink.msgs)
+	if during >= 12 {
+		t.Fatal("pipeline finished across a partition")
+	}
+	c.Medium().Faults().Heal()
+	c.Run(3 * simtime.Minute)
+	expectSteps(t, sink, 12)
+	_ = during
+}
+
+// The §3.2.3 promise, measured end to end: with the bound policy active, a
+// process's actual recovery time (crash notice to recovery-done) stays
+// within the same order as its configured bound, and is much shorter than
+// an uncheckpointed recovery of the same history.
+func TestRecoveryTimeBoundedByCheckpoints(t *testing.T) {
+	measure := func(policy CheckpointPolicyKind) simtime.Time {
+		cfg := DefaultConfig(3)
+		cfg.CheckpointPolicy = policy
+		cfg.CheckpointTick = 200 * simtime.Millisecond
+		c := New(cfg)
+		sink := &witnessSink{}
+		registerWitness(c, sink)
+		registerWorker(c)
+		registerProducer(c, 30, 150*simtime.Millisecond)
+		wit, _ := c.Spawn(2, ProcSpec{Name: "witness", Recoverable: true})
+		c.SetService("witness", wit)
+		worker, err := c.Spawn(1, ProcSpec{
+			Name: "worker", Recoverable: true,
+			RecoveryTimeBound: 500 * simtime.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.SetService("worker", worker)
+		c.Spawn(0, ProcSpec{Name: "producer", Recoverable: true})
+		c.Scheduler().At(4*simtime.Second, func() { c.CrashProcess(worker) })
+		c.Run(3 * simtime.Minute)
+		expectSteps(t, sink, 30)
+
+		// Recovery duration from the trace: crash event to recovery-done.
+		var crashAt, doneAt simtime.Time
+		for _, e := range c.Trace().OfKind(trace.KindCrash) {
+			if e.Subject == worker.String() {
+				crashAt = e.At
+				break
+			}
+		}
+		for _, e := range c.Trace().OfKind(trace.KindRecoveryDone) {
+			if e.Subject == worker.String() {
+				doneAt = e.At
+			}
+		}
+		if crashAt == 0 || doneAt <= crashAt {
+			t.Fatalf("could not locate recovery window (crash=%v done=%v)", crashAt, doneAt)
+		}
+		return doneAt - crashAt
+	}
+	bounded := measure(CheckpointBound)
+	unbounded := measure(CheckpointNone)
+	if bounded >= unbounded {
+		t.Fatalf("checkpointing did not shorten recovery: %v vs %v", bounded, unbounded)
+	}
+	if bounded > 900*simtime.Millisecond {
+		t.Fatalf("bounded recovery too slow: %v (bound 500ms + detection grace)", bounded)
+	}
+	t.Logf("recovery time: bounded=%v unbounded=%v", bounded, unbounded)
+}
+
+// Soak test: a randomized but seed-determined schedule of process crashes,
+// node crashes, and a recorder outage, over a long pipeline. The invariant
+// is always the same: exactly-once, in-order delivery of every step.
+func TestSoakRandomFaultSchedule(t *testing.T) {
+	for _, seed := range []uint64{7, 21, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := DefaultConfig(3)
+			cfg.Seed = seed
+			c, sink, worker := buildScenario(t, cfg, 25)
+			rng := simtime.NewRand(seed * 13)
+			// Schedule 6 random fault events in the first 6 virtual seconds.
+			for i := 0; i < 6; i++ {
+				at := simtime.Time(rng.Intn(6000)+400) * simtime.Millisecond
+				kind := rng.Intn(3)
+				c.Scheduler().At(at, func() {
+					switch kind {
+					case 0:
+						c.CrashProcess(worker)
+					case 1:
+						c.CrashNode(1)
+					case 2:
+						if !c.Recorder().Crashed() {
+							c.CrashRecorder()
+							c.Scheduler().After(2*simtime.Second, func() {
+								_ = c.RestartRecorder()
+							})
+						}
+					}
+				})
+			}
+			c.Run(10 * simtime.Minute)
+			expectSteps(t, sink, 25)
+		})
+	}
+}
+
+// Same soak schedule, run twice: identical histories (determinism under
+// heavy fault injection).
+func TestSoakDeterminism(t *testing.T) {
+	run := func() string {
+		cfg := DefaultConfig(3)
+		cfg.Seed = 5
+		c, sink, worker := buildScenario(t, cfg, 15)
+		rng := simtime.NewRand(5)
+		for i := 0; i < 4; i++ {
+			at := simtime.Time(rng.Intn(4000)+400) * simtime.Millisecond
+			kind := rng.Intn(2)
+			c.Scheduler().At(at, func() {
+				if kind == 0 {
+					c.CrashProcess(worker)
+				} else {
+					c.CrashNode(1)
+				}
+			})
+		}
+		c.Run(5 * simtime.Minute)
+		return fmt.Sprintf("%v|%v", sink.msgs, c.Now())
+	}
+	if run() != run() {
+		t.Fatal("soak run not deterministic")
+	}
+}
+
+// Back-to-back node crashes (a crash during the recovery of a previous
+// crash of the same node) still converge.
+func TestRepeatedNodeCrashes(t *testing.T) {
+	cfg := DefaultConfig(3)
+	c, sink, _ := buildScenario(t, cfg, 15)
+	c.Scheduler().At(1*simtime.Second, func() { c.CrashNode(1) })
+	c.Scheduler().At(6*simtime.Second, func() { c.CrashNode(1) })
+	c.Scheduler().At(11*simtime.Second, func() { c.CrashNode(1) })
+	c.Run(5 * simtime.Minute)
+	expectSteps(t, sink, 15)
+	if got := c.Recorder().Stats().ProcessorCrashes; got < 3 {
+		t.Fatalf("processor crashes detected = %d, want >= 3", got)
+	}
+}
+
+// The storage policy (§5.1) triggers on message volume; verify it fires and
+// still recovers correctly.
+func TestStoragePolicyCheckpoints(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.CheckpointPolicy = CheckpointStorage
+	cfg.CheckpointTick = 150 * simtime.Millisecond
+	c := New(cfg)
+	sink := &witnessSink{}
+	registerWitness(c, sink)
+	registerWorker(c)
+	// The storage policy triggers when accumulated message bytes exceed the
+	// checkpoint size, so send fat messages (value in byte 0, padding after).
+	c.Registry().RegisterProgram("producer", func(args []byte) Program {
+		return func(ctx *PCtx) {
+			wl, err := ctx.ServiceLink("worker")
+			if err != nil {
+				return
+			}
+			for i := 1; i <= 20; i++ {
+				body := make([]byte, 512)
+				body[0] = byte(i)
+				_ = ctx.Send(wl, body, NoLink)
+				ctx.Compute(120 * simtime.Millisecond)
+			}
+		}
+	})
+	wit, _ := c.Spawn(2, ProcSpec{Name: "witness", Recoverable: true})
+	c.SetService("witness", wit)
+	worker, _ := c.Spawn(1, ProcSpec{Name: "worker", Recoverable: true})
+	c.SetService("worker", worker)
+	c.Spawn(0, ProcSpec{Name: "producer", Recoverable: true})
+	c.Scheduler().At(2200*simtime.Millisecond, func() { c.CrashProcess(worker) })
+	c.Run(3 * simtime.Minute)
+	expectSteps(t, sink, 20)
+	if c.Recorder().Stats().CheckpointsStored == 0 {
+		t.Fatal("storage policy never checkpointed")
+	}
+}
+
+// Stable-store compaction runs live: after checkpoints invalidate replay
+// prefixes, compaction reclaims records without disturbing the system.
+func TestLiveCompaction(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.CheckpointPolicy = CheckpointBound
+	cfg.CheckpointTick = 200 * simtime.Millisecond
+	c := New(cfg)
+	sink := &witnessSink{}
+	registerWitness(c, sink)
+	registerWorker(c)
+	registerProducer(c, 20, 150*simtime.Millisecond)
+	wit, _ := c.Spawn(2, ProcSpec{Name: "witness", Recoverable: true})
+	c.SetService("witness", wit)
+	worker, _ := c.Spawn(1, ProcSpec{
+		Name: "worker", Recoverable: true, RecoveryTimeBound: 400 * simtime.Millisecond,
+	})
+	c.SetService("worker", worker)
+	c.Spawn(0, ProcSpec{Name: "producer", Recoverable: true})
+	c.Run(10 * simtime.Second)
+	dropped, err := c.Store().Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Fatal("compaction reclaimed nothing despite checkpoints")
+	}
+	// The system continues fine after compaction, including a recovery.
+	c.CrashProcess(worker)
+	c.Run(3 * simtime.Minute)
+	expectSteps(t, sink, 20)
+}

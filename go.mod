@@ -1,0 +1,3 @@
+module publishing
+
+go 1.22

@@ -1,0 +1,150 @@
+// Package checkpoint implements the paper's checkpoint mathematics and
+// policies: Young's first-order optimum interval (§3.2.4), the dynamic
+// recovery-time bound t_max of §3.2.3 with its load- and process-dependent
+// parameters, and the two checkpoint-triggering policies the thesis uses —
+// bound-driven ("checkpoint whenever t_max exceeds the specified recovery
+// time") and storage-balanced ("a process is checkpointed whenever its
+// published message storage exceeds its checkpoint size", §5.1).
+package checkpoint
+
+import (
+	"math"
+
+	"publishing/internal/simtime"
+)
+
+// YoungInterval returns John Young's first-order approximation to the
+// optimal checkpoint interval: T_c = sqrt(2 · T_s · T_f), where T_s is the
+// time to save a checkpoint and T_f the mean time between failures
+// (§3.2.4).
+func YoungInterval(save, mtbf simtime.Time) simtime.Time {
+	if save <= 0 || mtbf <= 0 {
+		return 0
+	}
+	return simtime.Time(math.Sqrt(2 * float64(save) * float64(mtbf)))
+}
+
+// LoadParams are the load-dependent parameters of the t_max formula,
+// "determined empirically by measuring the system under various loads"
+// (§3.2.3). The defaults are the worked example of Fig 3.1.
+type LoadParams struct {
+	// CFix is t_cfix, the fixed time to build system table entries.
+	CFix simtime.Time
+	// PerPage is t_page, the time to load one checkpoint page.
+	PerPage simtime.Time
+	// MFix is t_mfix, the fixed per-message lookup/replay initiation time.
+	MFix simtime.Time
+	// PerByte is t_byte, the per-byte message replay transmission time.
+	PerByte simtime.Time
+	// CPUShare is f_cpu, the fraction of the CPU the recovering process
+	// obtains.
+	CPUShare float64
+}
+
+// Fig31Params returns the example parameters of §3.2.3: t_cfix = 100 ms,
+// t_mfix = 2 ms, t_page = 10 ms/page, t_byte = 0.01 ms/byte, f_cpu = 0.5.
+func Fig31Params() LoadParams {
+	return LoadParams{
+		CFix:     100 * simtime.Millisecond,
+		PerPage:  10 * simtime.Millisecond,
+		MFix:     2 * simtime.Millisecond,
+		PerByte:  10 * simtime.Microsecond,
+		CPUShare: 0.5,
+	}
+}
+
+// ProcParams are the process-specific accumulators, updated "each time a
+// process is checkpointed or receives a message" (§3.2.3).
+type ProcParams struct {
+	// CheckpointPages is l_check, the checkpoint length in pages.
+	CheckpointPages int
+	// MsgsSince is n_τ − n_τ0, messages received since the checkpoint.
+	MsgsSince uint64
+	// BytesSince is Σ l_msg, total bytes of those messages.
+	BytesSince uint64
+	// ExecSince is τ − τ0, the execution time since the checkpoint.
+	ExecSince simtime.Time
+}
+
+// Bound computes t_max = t_reload + t_replay + t_compute (§3.2.3):
+//
+//	t_max = t_cfix + t_page·l_check
+//	      + t_mfix·(n_τ − n_τ0) + t_byte·Σ l_msg
+//	      + (τ − τ0)/f_cpu
+func Bound(lp LoadParams, pp ProcParams) simtime.Time {
+	reload := lp.CFix + lp.PerPage*simtime.Time(pp.CheckpointPages)
+	replay := lp.MFix*simtime.Time(pp.MsgsSince) + lp.PerByte*simtime.Time(pp.BytesSince)
+	var compute simtime.Time
+	if lp.CPUShare > 0 {
+		compute = simtime.Time(float64(pp.ExecSince) / lp.CPUShare)
+	}
+	return reload + replay + compute
+}
+
+// Reload returns just t_reload (useful for reporting).
+func Reload(lp LoadParams, pages int) simtime.Time {
+	return lp.CFix + lp.PerPage*simtime.Time(pages)
+}
+
+// Policy decides when a process should be checkpointed.
+type Policy interface {
+	// ShouldCheckpoint inspects a process's accumulated recovery debt.
+	ShouldCheckpoint(lp LoadParams, pp ProcParams, bound simtime.Time) bool
+}
+
+// BoundPolicy checkpoints whenever the projected recovery time would exceed
+// the process's specified bound (§3.2.3: "If the system checkpoints a
+// process whenever its t_max exceeds its specified recovery time, the
+// process can always be recovered in that amount of time"). Margin scales
+// the trigger point (e.g. 0.9 checkpoints at 90% of the bound to absorb the
+// checkpoint's own latency).
+type BoundPolicy struct {
+	Margin float64
+}
+
+// ShouldCheckpoint implements Policy.
+func (p BoundPolicy) ShouldCheckpoint(lp LoadParams, pp ProcParams, bound simtime.Time) bool {
+	if bound <= 0 {
+		return false
+	}
+	m := p.Margin
+	if m <= 0 {
+		m = 1
+	}
+	return float64(Bound(lp, pp)) >= m*float64(bound)
+}
+
+// StorageBalancePolicy checkpoints when the bytes of published messages
+// accumulated since the last checkpoint exceed the checkpoint size itself —
+// the policy used to generate the queuing model's checkpoint traffic
+// (§5.1): "a process is checkpointed whenever its published message storage
+// exceeds its checkpoint size. This policy tries to balance the cost of
+// doing a checkpoint for a process against the disk space required for
+// published message storage."
+type StorageBalancePolicy struct {
+	// PageBytes converts checkpoint pages to bytes (default 512, the
+	// DEMOS/MP page granularity assumed in Fig 3.1's 4-page example).
+	PageBytes int
+}
+
+// ShouldCheckpoint implements Policy.
+func (p StorageBalancePolicy) ShouldCheckpoint(lp LoadParams, pp ProcParams, bound simtime.Time) bool {
+	pb := p.PageBytes
+	if pb <= 0 {
+		pb = 512
+	}
+	return pp.BytesSince > uint64(pp.CheckpointPages*pb)
+}
+
+// IntervalForRates predicts the steady-state checkpoint interval the
+// storage-balance policy produces for a process with the given state size
+// and incoming message byte rate: the time to accumulate stateBytes of
+// messages. This is the quantity behind §5.1's "checkpoint intervals
+// between 1 second for 4k byte processes during high message rates and 2
+// minutes for 64k byte processes during low message rates".
+func IntervalForRates(stateBytes int, msgBytesPerSec float64) simtime.Time {
+	if msgBytesPerSec <= 0 {
+		return simtime.Never
+	}
+	return simtime.FromSeconds(float64(stateBytes) / msgBytesPerSec)
+}

@@ -1,0 +1,273 @@
+package demos
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"publishing/internal/frame"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// CtlReply is the body of a kernel-process reply.
+type CtlReply struct {
+	OK            bool
+	Err           string
+	Proc          frame.ProcID
+	RestartNumber uint64
+}
+
+// EncodeReply gob-encodes a control reply.
+func EncodeReply(r *CtlReply) []byte { return mustGob(r) }
+
+// DecodeReply decodes a control reply.
+func DecodeReply(b []byte) (*CtlReply, error) {
+	var r CtlReply
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("demos: bad control reply: %w", err)
+	}
+	return &r, nil
+}
+
+// checkpointImage is the serialized form of a full process checkpoint: the
+// machine's address-space equivalent plus the kernel-resident link table.
+type checkpointImage struct {
+	Machine []byte
+	Links   []byte
+}
+
+func decodeCheckpoint(b []byte) (*checkpointImage, error) {
+	var img checkpointImage
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("demos: bad checkpoint: %w", err)
+	}
+	return &img, nil
+}
+
+// handleControl is the kernel process (§4.2.1): it serves process-control
+// requests delivered as messages. Direct requests (To = kernel process)
+// carry creation, recovery, and query operations; DELIVERTOKERNEL requests
+// (To = a controlled process) carry per-process control, and everything the
+// kernel does for them is attributed to the controlled process (§4.4.3).
+func (k *Kernel) handleControl(f *frame.Frame) bool {
+	ctl, err := DecodeCtl(f.Body)
+	if err != nil {
+		k.env.Log.Add(trace.KindControl, int(k.node), f.From.String(), "undecodable control: %v", err)
+		return true
+	}
+	k.charge(k.env.Costs.LinkCPU, 0)
+	k.env.Log.Add(trace.KindControl, int(k.node), f.To.String(), "ctl op=%d from %s", ctl.Op, f.From)
+
+	switch ctl.Op {
+	case OpCreate:
+		var init *frame.Link
+		if !ctl.Spec.InitialLink.IsNil() {
+			l := ctl.Spec.InitialLink
+			init = &l
+		}
+		id, err := k.Spawn(ctl.Spec, SpawnOptions{InitialLink: init, SendSeq: 0})
+		k.reply(f, nil, replyFor(id, err), controlLinkFor(id, err))
+
+	case OpRecreate:
+		var sendSeq uint64
+		if ctl.FirstSendSeq > 0 {
+			sendSeq = ctl.FirstSendSeq - 1
+		}
+		id, err := k.Spawn(ctl.Spec, SpawnOptions{
+			FixedID:         &ctl.Proc,
+			Checkpoint:      ctl.Checkpoint,
+			SendSeq:         sendSeq,
+			ReadCount:       ctl.ReadCount,
+			Recovering:      true,
+			SuppressThrough: ctl.LastSentSeq,
+			Quiet:           true,
+		})
+		k.env.Log.Add(trace.KindRecoveryStart, int(k.node), ctl.Proc.String(),
+			"recreated (first=%d last=%d ck=%dB): err=%v", ctl.FirstSendSeq, ctl.LastSentSeq, len(ctl.Checkpoint), err)
+		k.reply(f, nil, replyFor(id, err), nil)
+
+	case OpQueryProcs:
+		resp := &QueryResponse{RestartNumber: ctl.RestartNumber, Node: k.node}
+		for id := range k.procs {
+			resp.Procs = append(resp.Procs, ProcReport{Proc: id, State: k.ProcState(id)})
+		}
+		if f.PassedLink != nil {
+			_ = k.sendMessage(nil, k.KernelProc(), *f.PassedLink, EncodeQuery(resp), nil)
+		}
+
+	case OpReplayMsg:
+		p := k.procs[ctl.Proc]
+		if p == nil || !p.recovering {
+			k.env.Log.Add(trace.KindReplay, int(k.node), ctl.Proc.String(), "replay for non-recovering process dropped")
+			return true
+		}
+		k.stats.Replayed++
+		k.pushToQueue(p, Msg{
+			ID:      ctl.ReplayID,
+			From:    ctl.ReplayFrom,
+			Channel: ctl.ReplayChannel,
+			Code:    ctl.ReplayCode,
+			Body:    ctl.ReplayBody,
+		}, ctl.ReplayLink)
+		k.env.Log.Add(trace.KindReplay, int(k.node), ctl.Proc.String(), "replayed %s", ctl.ReplayID)
+
+	case OpRecoveryDone:
+		p := k.procs[ctl.Proc]
+		if p == nil {
+			return true
+		}
+		p.recovering = false
+		k.env.Log.Add(trace.KindRecoveryDone, int(k.node), ctl.Proc.String(),
+			"recovery complete; accepting direct traffic")
+		// Frames refused during recovery are sitting in the transport's
+		// reassembly buffers; deliver them now, in order.
+		k.ep.Poke()
+		if f.PassedLink != nil {
+			k.reply(f, nil, &CtlReply{OK: true, Proc: ctl.Proc}, nil)
+		}
+
+	case OpDestroy:
+		k.Destroy(f.To)
+		if f.PassedLink != nil {
+			k.reply(f, nil, &CtlReply{OK: true, Proc: f.To}, nil)
+		}
+
+	case OpMoveLink:
+		// Fig 4.5: install the link carried by this message into the
+		// controlled process's table.
+		p := k.procs[f.To]
+		if p != nil && f.PassedLink != nil {
+			p.links.insert(*f.PassedLink)
+			k.env.Log.Add(trace.KindControl, int(k.node), f.To.String(), "movelink %s", f.PassedLink)
+		}
+
+	case OpStop:
+		if p := k.procs[f.To]; p != nil {
+			p.stopped = true
+		}
+
+	case OpStart:
+		if p := k.procs[f.To]; p != nil && p.stopped {
+			p.stopped = false
+			k.wake(p)
+		}
+
+	case OpCheckpoint:
+		_, _ = k.CheckpointNow(f.To)
+
+	default:
+		k.env.Log.Add(trace.KindControl, int(k.node), f.To.String(), "unknown ctl op %d", ctl.Op)
+	}
+	return true
+}
+
+// reply answers a control request over its passed reply link.
+func (k *Kernel) reply(req *frame.Frame, asProc *process, r *CtlReply, pass *frame.Link) {
+	if req.PassedLink == nil {
+		return
+	}
+	from := k.KernelProc()
+	if asProc != nil {
+		from = asProc.id
+	}
+	_ = k.sendMessage(asProc, from, *req.PassedLink, EncodeReply(r), pass)
+}
+
+func replyFor(id frame.ProcID, err error) *CtlReply {
+	if err != nil {
+		return &CtlReply{OK: false, Err: err.Error()}
+	}
+	return &CtlReply{OK: true, Proc: id}
+}
+
+// controlLinkFor returns the DELIVERTOKERNEL link for a created process
+// (§4.4.3: "After creating a new process the kernel returns to the
+// requester a DELIVERTOKERNEL link that points to the created process").
+func controlLinkFor(id frame.ProcID, err error) *frame.Link {
+	if err != nil {
+		return nil
+	}
+	return &frame.Link{To: id, Channel: ChanRequest, DeliverToKernel: true}
+}
+
+// CheckpointNow snapshots a machine process if it is quiescent (parked
+// between messages) and ships the checkpoint to the recorder. It reports
+// whether a checkpoint was taken.
+func (k *Kernel) CheckpointNow(id frame.ProcID) (bool, error) {
+	p := k.procs[id]
+	if p == nil {
+		return false, fmt.Errorf("demos: checkpoint: no process %s", id)
+	}
+	if p.machine == nil {
+		return false, fmt.Errorf("demos: checkpoint: %s is not a machine", id)
+	}
+	if p.recovering || !k.publishingFor(p) {
+		return false, nil
+	}
+	quiescent := p.started && !p.finished &&
+		(p.state == psBlocked || (p.state == psReady && p.pendingReceiveRetry))
+	if !quiescent {
+		return false, nil
+	}
+	mb, err := p.machine.Snapshot()
+	if err != nil {
+		return false, fmt.Errorf("demos: snapshot %s: %w", id, err)
+	}
+	blob := mustGob(&checkpointImage{Machine: mb, Links: p.links.snapshot()})
+	kb := (len(blob) + 1023) / 1024
+	k.charge(k.env.Costs.CheckpointPerKB*simtime.Time(kb), 0)
+	k.stats.Checkpoints++
+	p.stateKB = kb
+	p.msgsSinceCk = 0
+	p.bytesSinceCk = 0
+	p.cpuSinceCk = 0
+	p.lastCkAt = k.env.Sched.Now()
+	k.env.Log.Add(trace.KindCheckpoint, int(k.node), id.String(),
+		"checkpoint %d KB sendSeq=%d readCount=%d", kb, p.sendSeq, p.readCount)
+	k.notify(&Notice{
+		Kind:       NoticeCheckpoint,
+		Proc:       id,
+		Checkpoint: blob,
+		SendSeq:    p.sendSeq,
+		ReadCount:  p.readCount,
+		StateKB:    kb,
+		Queued:     p.queue.ids(),
+	})
+	return true, nil
+}
+
+// RecoveryLoad describes the replay debt of one process for the §3.2.3
+// recovery-time bound: how much has accumulated since its last checkpoint.
+type RecoveryLoad struct {
+	Proc           frame.ProcID
+	StateKB        int
+	MsgsSinceCk    uint64
+	BytesSinceCk   uint64
+	CPUSinceCk     simtime.Time
+	SinceCk        simtime.Time
+	Bound          simtime.Time
+	Checkpointable bool
+}
+
+// Loads reports the recovery debt of every local recoverable process; the
+// checkpoint policy consumes this.
+func (k *Kernel) Loads() []RecoveryLoad {
+	var out []RecoveryLoad
+	for id, p := range k.procs {
+		if !p.spec.Recoverable {
+			continue
+		}
+		out = append(out, RecoveryLoad{
+			Proc:           id,
+			StateKB:        p.stateKB,
+			MsgsSinceCk:    p.msgsSinceCk,
+			BytesSinceCk:   p.bytesSinceCk,
+			CPUSinceCk:     p.cpuSinceCk,
+			SinceCk:        k.env.Sched.Now() - p.lastCkAt,
+			Bound:          p.spec.RecoveryTimeBound,
+			Checkpointable: p.machine != nil,
+		})
+	}
+	return out
+}

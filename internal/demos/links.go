@@ -1,0 +1,74 @@
+package demos
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"publishing/internal/frame"
+)
+
+// linkTable is a process's kernel-resident table of links (§4.2.2.1).
+// "Links exist outside of the address space of the processes, either in
+// messages or in kernel resident link tables" — so the table is part of the
+// kernel state a checkpoint must capture.
+type linkTable struct {
+	next  LinkID
+	links map[LinkID]frame.Link
+}
+
+func newLinkTable() *linkTable {
+	return &linkTable{links: make(map[LinkID]frame.Link)}
+}
+
+// insert adds a link and returns its id.
+func (t *linkTable) insert(l frame.Link) LinkID {
+	id := t.next
+	t.next++
+	t.links[id] = l
+	return id
+}
+
+// get looks a link up.
+func (t *linkTable) get(id LinkID) (frame.Link, bool) {
+	l, ok := t.links[id]
+	return l, ok
+}
+
+// remove deletes a link, returning it (for links passed away in messages:
+// "The link is removed from the sender's link table and copied into the
+// message", §4.2.2.3).
+func (t *linkTable) remove(id LinkID) (frame.Link, bool) {
+	l, ok := t.links[id]
+	if ok {
+		delete(t.links, id)
+	}
+	return l, ok
+}
+
+// size reports the number of live links.
+func (t *linkTable) size() int { return len(t.links) }
+
+// linkTableImage is the serializable form of a link table.
+type linkTableImage struct {
+	Next  LinkID
+	Links map[LinkID]frame.Link
+}
+
+// snapshot serializes the table for a checkpoint.
+func (t *linkTable) snapshot() []byte {
+	return mustGob(&linkTableImage{Next: t.next, Links: t.links})
+}
+
+// restoreLinkTable rebuilds a table from a snapshot.
+func restoreLinkTable(b []byte) (*linkTable, error) {
+	var img linkTableImage
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&img); err != nil {
+		return nil, fmt.Errorf("demos: bad link table snapshot: %w", err)
+	}
+	t := &linkTable{next: img.Next, links: img.Links}
+	if t.links == nil {
+		t.links = make(map[LinkID]frame.Link)
+	}
+	return t, nil
+}

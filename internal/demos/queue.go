@@ -1,0 +1,83 @@
+package demos
+
+import "publishing/internal/frame"
+
+// msgQueue is a process's kernel-resident input queue (§4.2.2.2). Messages
+// arrive in order; channels let the process read selectively, and every
+// out-of-order read is reported so the recorder can reconstruct the true
+// read order (§4.4.2).
+type msgQueue struct {
+	items []queued
+}
+
+type queued struct {
+	msg  Msg
+	link *frame.Link // passed link, not yet installed
+}
+
+// push appends an arriving message.
+func (q *msgQueue) push(m Msg, link *frame.Link) {
+	q.items = append(q.items, queued{msg: m, link: link})
+}
+
+// len reports queued messages.
+func (q *msgQueue) len() int { return len(q.items) }
+
+// head returns the id of the first queued message.
+func (q *msgQueue) head() (frame.MsgID, bool) {
+	if len(q.items) == 0 {
+		return frame.MsgID{}, false
+	}
+	return q.items[0].msg.ID, true
+}
+
+// matches reports whether channel ch is in the wanted set (empty = any).
+func matches(ch uint16, want []uint16) bool {
+	if len(want) == 0 {
+		return true
+	}
+	for _, w := range want {
+		if w == ch {
+			return true
+		}
+	}
+	return false
+}
+
+// pop removes and returns the first message belonging to one of the wanted
+// channels. outOfOrder reports that a later message was selected past the
+// queue head (the §4.4.2 advisory trigger), with head the id of the message
+// that would have been read had channels not existed.
+func (q *msgQueue) pop(want []uint16) (item queued, head frame.MsgID, outOfOrder, ok bool) {
+	for i := range q.items {
+		if matches(q.items[i].msg.Channel, want) {
+			item = q.items[i]
+			if i > 0 {
+				outOfOrder = true
+				head = q.items[0].msg.ID
+			}
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return item, head, outOfOrder, true
+		}
+	}
+	return queued{}, frame.MsgID{}, false, false
+}
+
+// ids returns the queued message ids in queue order.
+func (q *msgQueue) ids() []frame.MsgID {
+	out := make([]frame.MsgID, len(q.items))
+	for i := range q.items {
+		out[i] = q.items[i].msg.ID
+	}
+	return out
+}
+
+// anyMatch reports whether some queued message matches the wanted channels.
+func (q *msgQueue) anyMatch(want []uint16) bool {
+	for i := range q.items {
+		if matches(q.items[i].msg.Channel, want) {
+			return true
+		}
+	}
+	return false
+}

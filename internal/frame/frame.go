@@ -1,0 +1,383 @@
+// Package frame defines the wire vocabulary shared by every layer of the
+// reproduced system: process and message identifiers, link capabilities as
+// they appear inside messages, and the network frame format with its
+// link-layer rotating checksum (§4.3.3 of the paper).
+//
+// The paper's network is strictly layered (media, link, transport); this
+// package is the part every layer agrees on. Frames can be serialized to a
+// byte stream (used by cmd/starhub to run the star configuration over real
+// TCP) and carry enough metadata for the recorder to publish them passively.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// NodeID identifies a processor on the network. The recorder is a node too.
+type NodeID int32
+
+// Broadcast is the destination for frames addressed to every station.
+const Broadcast NodeID = -1
+
+// ProcID names a process uniquely network-wide. Following §4.3.1, it is the
+// single-processor id made unique by appending the id of the node the
+// process was created on; a process keeps its ProcID even if it migrates.
+type ProcID struct {
+	Node  NodeID // creating node
+	Local uint32 // id unique within the creating node
+}
+
+// Nil is the zero ProcID, meaning "no process".
+var NilProc ProcID
+
+// IsNil reports whether p names no process.
+func (p ProcID) IsNil() bool { return p == NilProc }
+
+// String formats the ProcID as node.local.
+func (p ProcID) String() string {
+	if p.IsNil() {
+		return "<nil-proc>"
+	}
+	return fmt.Sprintf("p%d.%d", p.Node, p.Local)
+}
+
+// MsgID uniquely identifies a guaranteed message (§4.3.3): "The identifier
+// is made up of two fields: the unique identifier of the sending process and
+// a number from that process's state block. This number is increased every
+// time a message is sent by that process."
+type MsgID struct {
+	Sender ProcID
+	Seq    uint64
+}
+
+// IsNil reports whether the id is unset.
+func (m MsgID) IsNil() bool { return m.Sender.IsNil() && m.Seq == 0 }
+
+// String formats the message id.
+func (m MsgID) String() string { return fmt.Sprintf("%s#%d", m.Sender, m.Seq) }
+
+// Less orders message ids from the same sender by sequence number.
+func (m MsgID) Less(o MsgID) bool {
+	if m.Sender != o.Sender {
+		if m.Sender.Node != o.Sender.Node {
+			return m.Sender.Node < o.Sender.Node
+		}
+		return m.Sender.Local < o.Sender.Local
+	}
+	return m.Seq < o.Seq
+}
+
+// Link is a capability to send messages to a process (§4.2.2.1). Links live
+// outside process address spaces — in kernel link tables or inside messages;
+// this type is the in-message/wire representation. Channel and Code are
+// stamped into the header of every message sent over the link.
+type Link struct {
+	// To is the process the link points at.
+	To ProcID
+	// Channel selects the receive channel at the destination (§4.2.2.2).
+	Channel uint16
+	// Code lets the receiver tell its links apart (§4.2.2.1).
+	Code uint32
+	// DeliverToKernel marks the process-control links of §4.4.3: messages
+	// sent over such a link are handed to the kernel process on the
+	// destination node, which acts on behalf of the addressed process.
+	DeliverToKernel bool
+}
+
+// IsNil reports whether the link is unset.
+func (l Link) IsNil() bool { return l.To.IsNil() }
+
+// String formats the link.
+func (l Link) String() string {
+	k := ""
+	if l.DeliverToKernel {
+		k = " kernel"
+	}
+	return fmt.Sprintf("link(->%s ch=%d code=%d%s)", l.To, l.Channel, l.Code, k)
+}
+
+// Type classifies frames on the wire.
+type Type uint8
+
+const (
+	// Unguaranteed frames carry dated/statistical traffic (routing tables,
+	// "I'm alive" hints). Lost ones are never retransmitted.
+	Unguaranteed Type = iota + 1
+	// Guaranteed frames carry process messages; the transport layer
+	// retransmits them until the destination node acknowledges end-to-end.
+	Guaranteed
+	// Ack is the end-to-end acknowledgement for a guaranteed frame. The
+	// recorder also listens to these: an ack tells it the order in which
+	// messages were accepted (queued) at the destination (§4.4.1).
+	Ack
+	// RecorderAck is the recorder's own acknowledgement, used by media or
+	// transports that enforce publish-before-use (§3.3.4, §6.1): a receiver
+	// must not use a guaranteed frame until the recorder has stored it.
+	RecorderAck
+	// Token is the circulating token of the ring medium (§6.1.2); it never
+	// leaves the media layer.
+	Token
+)
+
+var typeNames = map[Type]string{
+	Unguaranteed: "unguaranteed",
+	Guaranteed:   "guaranteed",
+	Ack:          "ack",
+	RecorderAck:  "recorder-ack",
+	Token:        "token",
+}
+
+// String returns the frame type name.
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Valid reports whether t is a known frame type; the link layer discards
+// frames with invalid types (§4.3.3: "checking the message type for
+// validity").
+func (t Type) Valid() bool { _, ok := typeNames[t]; return ok }
+
+// Frame is one transmission on the network medium.
+type Frame struct {
+	Type Type
+	// Src and Dst are station (node) addresses. Dst may be Broadcast.
+	Src, Dst NodeID
+
+	// ID identifies the guaranteed message this frame carries, or — for Ack
+	// and RecorderAck frames — the message being acknowledged.
+	ID MsgID
+
+	// From and To are the endpoint processes for Guaranteed/Unguaranteed
+	// frames. For control traffic generated on behalf of another process
+	// (§4.4.3) From is the impersonated process, so the recorder attributes
+	// the message correctly.
+	From, To ProcID
+
+	// Channel and Code are copied from the sending link (§4.2.2.3).
+	Channel uint16
+	Code    uint32
+
+	// XSeq is the transport-layer stream sequence number used to preserve
+	// per-processor message order (§4.3.3 anticipates "a windowing scheme
+	// that will continue to preserve message ordering"). Layout: bits 63..48
+	// hold the sender's boot epoch, bits 47..0 the per-destination sequence.
+	XSeq uint64
+	// XLow is the lowest XSeq still unacknowledged at the sender when this
+	// frame (or retransmission) was put on the wire. The receiver syncs its
+	// in-order delivery expectation to it: sequences below XLow were
+	// acknowledged before and will never be resent.
+	XLow uint64
+
+	// DeliverToKernel routes the message to the destination node's kernel
+	// process instead of directly to To (§4.4.3).
+	DeliverToKernel bool
+
+	// PassedLink is the (at most one) link included in the message
+	// (§4.2.2.3). Nil when no link is passed.
+	PassedLink *Link
+
+	// Body is uninterpreted payload.
+	Body []byte
+
+	// Corrupt marks a frame whose checksum has been invalidated — either by
+	// injected noise or deliberately by the ring recorder when it failed to
+	// store the message (§6.1.2). The link layer discards corrupt frames.
+	Corrupt bool
+}
+
+// headerLen is the encoded size of everything except Body and PassedLink.
+const headerLen = 1 + 4 + 4 + // type, src, dst
+	4 + 4 + 8 + // ID (sender node, local, seq)
+	4 + 4 + 4 + 4 + // From, To
+	2 + 4 + 8 + 8 + 1 + 1 + // channel, code, xseq, xlow, deliverToKernel, hasLink
+	4 // body length
+
+// linkLen is the encoded size of a passed link.
+const linkLen = 4 + 4 + 2 + 4 + 1
+
+// checksumLen is the trailing rotating checksum.
+const checksumLen = 4
+
+// WireLen returns the number of bytes this frame occupies on the medium,
+// used by the media simulations to compute transmission time. Acks and
+// tokens are minimal frames.
+func (f *Frame) WireLen() int {
+	n := headerLen + len(f.Body) + checksumLen
+	if f.PassedLink != nil {
+		n += linkLen
+	}
+	return n
+}
+
+// Clone returns a deep copy; media hand copies to each station so that one
+// receiver mutating a body cannot corrupt another's view (the wire is
+// value-semantics).
+func (f *Frame) Clone() *Frame {
+	g := *f
+	if f.Body != nil {
+		g.Body = append([]byte(nil), f.Body...)
+	}
+	if f.PassedLink != nil {
+		l := *f.PassedLink
+		g.PassedLink = &l
+	}
+	return &g
+}
+
+// String summarizes the frame for traces.
+func (f *Frame) String() string {
+	switch f.Type {
+	case Ack, RecorderAck:
+		return fmt.Sprintf("%s(%s) n%d->n%d", f.Type, f.ID, f.Src, f.Dst)
+	case Token:
+		return "token"
+	default:
+		return fmt.Sprintf("%s %s %s->%s ch=%d len=%d", f.Type, f.ID, f.From, f.To, f.Channel, len(f.Body))
+	}
+}
+
+// Checksum computes the link-layer rotating checksum over the encoded
+// header and body (§4.3.3: "wrapping all messages with a rotating
+// checksum"). It rotates the accumulator left one bit per byte and XORs, so
+// byte transpositions are detected, unlike a plain additive sum.
+func Checksum(b []byte) uint32 {
+	var c uint32
+	for _, x := range b {
+		c = (c << 1) | (c >> 31) // rotate left 1
+		c ^= uint32(x)
+	}
+	return c
+}
+
+// Encode serializes the frame including its trailing checksum. A Corrupt
+// frame is encoded with its checksum complemented, exactly how the ring
+// recorder invalidates a message it failed to store (§6.1.2).
+func (f *Frame) Encode() []byte {
+	buf := make([]byte, 0, f.WireLen())
+	var tmp [8]byte
+
+	put8 := func(v uint8) { buf = append(buf, v) }
+	put16 := func(v uint16) {
+		binary.BigEndian.PutUint16(tmp[:2], v)
+		buf = append(buf, tmp[:2]...)
+	}
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		buf = append(buf, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:8], v)
+		buf = append(buf, tmp[:8]...)
+	}
+	putProc := func(p ProcID) {
+		put32(uint32(p.Node))
+		put32(p.Local)
+	}
+	putBool := func(b bool) {
+		if b {
+			put8(1)
+		} else {
+			put8(0)
+		}
+	}
+
+	put8(uint8(f.Type))
+	put32(uint32(f.Src))
+	put32(uint32(f.Dst))
+	putProc(f.ID.Sender)
+	put64(f.ID.Seq)
+	putProc(f.From)
+	putProc(f.To)
+	put16(f.Channel)
+	put32(f.Code)
+	put64(f.XSeq)
+	put64(f.XLow)
+	putBool(f.DeliverToKernel)
+	putBool(f.PassedLink != nil)
+	put32(uint32(len(f.Body)))
+	if f.PassedLink != nil {
+		putProc(f.PassedLink.To)
+		put16(f.PassedLink.Channel)
+		put32(f.PassedLink.Code)
+		putBool(f.PassedLink.DeliverToKernel)
+	}
+	buf = append(buf, f.Body...)
+
+	sum := Checksum(buf)
+	if f.Corrupt {
+		sum = ^sum
+	}
+	binary.BigEndian.PutUint32(tmp[:4], sum)
+	buf = append(buf, tmp[:4]...)
+	return buf
+}
+
+// Decoding errors.
+var (
+	ErrShortFrame  = errors.New("frame: truncated")
+	ErrBadChecksum = errors.New("frame: checksum mismatch")
+	ErrBadType     = errors.New("frame: invalid type")
+)
+
+// Decode parses an encoded frame, verifying the checksum. A checksum
+// mismatch returns ErrBadChecksum — the link layer's cue to discard the
+// frame silently and let the transport layer retransmit.
+func Decode(b []byte) (*Frame, error) {
+	if len(b) < headerLen+checksumLen {
+		return nil, ErrShortFrame
+	}
+	payload, sumBytes := b[:len(b)-checksumLen], b[len(b)-checksumLen:]
+	if Checksum(payload) != binary.BigEndian.Uint32(sumBytes) {
+		return nil, ErrBadChecksum
+	}
+
+	pos := 0
+	get8 := func() uint8 { v := payload[pos]; pos++; return v }
+	get16 := func() uint16 { v := binary.BigEndian.Uint16(payload[pos:]); pos += 2; return v }
+	get32 := func() uint32 { v := binary.BigEndian.Uint32(payload[pos:]); pos += 4; return v }
+	get64 := func() uint64 { v := binary.BigEndian.Uint64(payload[pos:]); pos += 8; return v }
+	getProc := func() ProcID { n := NodeID(int32(get32())); l := get32(); return ProcID{Node: n, Local: l} }
+	getBool := func() bool { return get8() != 0 }
+
+	f := &Frame{}
+	f.Type = Type(get8())
+	if !f.Type.Valid() {
+		return nil, ErrBadType
+	}
+	f.Src = NodeID(int32(get32()))
+	f.Dst = NodeID(int32(get32()))
+	f.ID.Sender = getProc()
+	f.ID.Seq = get64()
+	f.From = getProc()
+	f.To = getProc()
+	f.Channel = get16()
+	f.Code = get32()
+	f.XSeq = get64()
+	f.XLow = get64()
+	f.DeliverToKernel = getBool()
+	hasLink := getBool()
+	bodyLen := int(get32())
+	if hasLink {
+		if len(payload)-pos < linkLen {
+			return nil, ErrShortFrame
+		}
+		l := &Link{}
+		l.To = getProc()
+		l.Channel = get16()
+		l.Code = get32()
+		l.DeliverToKernel = getBool()
+		f.PassedLink = l
+	}
+	if len(payload)-pos != bodyLen {
+		return nil, ErrShortFrame
+	}
+	if bodyLen > 0 {
+		f.Body = append([]byte(nil), payload[pos:pos+bodyLen]...)
+	}
+	return f, nil
+}

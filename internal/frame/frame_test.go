@@ -1,0 +1,259 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func sampleFrame() *Frame {
+	return &Frame{
+		Type:    Guaranteed,
+		Src:     2,
+		Dst:     5,
+		ID:      MsgID{Sender: ProcID{Node: 2, Local: 7}, Seq: 42},
+		From:    ProcID{Node: 2, Local: 7},
+		To:      ProcID{Node: 5, Local: 3},
+		Channel: 9,
+		Code:    1234,
+		PassedLink: &Link{
+			To:      ProcID{Node: 5, Local: 3},
+			Channel: 1,
+			Code:    88,
+		},
+		Body: []byte("read block 12 of file foo"),
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := sampleFrame()
+	g, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, g) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", g, f)
+	}
+}
+
+func TestEncodeDecodeNoLinkNoBody(t *testing.T) {
+	f := &Frame{Type: Ack, Src: 1, Dst: 2, ID: MsgID{Sender: ProcID{Node: 1, Local: 1}, Seq: 9}}
+	g, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(f, g) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", g, f)
+	}
+}
+
+func TestDecodeRejectsCorruptChecksum(t *testing.T) {
+	f := sampleFrame()
+	f.Corrupt = true
+	if _, err := Decode(f.Encode()); !errors.Is(err, ErrBadChecksum) {
+		t.Fatalf("corrupt frame decoded: err=%v", err)
+	}
+}
+
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	enc := sampleFrame().Encode()
+	for i := 0; i < len(enc); i++ {
+		b := append([]byte(nil), enc...)
+		b[i] ^= 0x40
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("bit flip at byte %d went undetected", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := sampleFrame().Encode()
+	for _, n := range []int{0, 1, headerLen - 1, headerLen, len(enc) - 1} {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestDecodeRejectsInvalidType(t *testing.T) {
+	f := sampleFrame()
+	f.PassedLink = nil
+	enc := f.Encode()
+	// Overwrite type byte and re-checksum so only the type is wrong.
+	payload := append([]byte(nil), enc[:len(enc)-checksumLen]...)
+	payload[0] = 200
+	g := &Frame{}
+	_ = g
+	sum := Checksum(payload)
+	var b []byte
+	b = append(b, payload...)
+	b = append(b, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	if _, err := Decode(b); !errors.Is(err, ErrBadType) {
+		t.Fatalf("invalid type accepted: err=%v", err)
+	}
+}
+
+func TestChecksumDetectsTransposition(t *testing.T) {
+	a := Checksum([]byte{1, 2, 3, 4})
+	b := Checksum([]byte{1, 3, 2, 4})
+	if a == b {
+		t.Fatal("rotating checksum failed to detect transposition")
+	}
+}
+
+func TestWireLenMatchesEncoding(t *testing.T) {
+	cases := []*Frame{
+		sampleFrame(),
+		{Type: Ack, Src: 1, Dst: 2},
+		{Type: Unguaranteed, Src: 0, Dst: Broadcast, Body: make([]byte, 1024)},
+		{Type: Token},
+	}
+	for _, f := range cases {
+		if got := len(f.Encode()); got != f.WireLen() {
+			t.Errorf("WireLen=%d but encoding is %d bytes (%v)", f.WireLen(), got, f.Type)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := sampleFrame()
+	g := f.Clone()
+	g.Body[0] = 'X'
+	g.PassedLink.Code = 999
+	if f.Body[0] == 'X' || f.PassedLink.Code == 999 {
+		t.Fatal("Clone shares storage with the original")
+	}
+	if !reflect.DeepEqual(f, sampleFrame()) {
+		t.Fatal("original mutated")
+	}
+}
+
+func TestProcIDAndMsgIDHelpers(t *testing.T) {
+	if !NilProc.IsNil() {
+		t.Fatal("NilProc not nil")
+	}
+	p := ProcID{Node: 3, Local: 4}
+	if p.IsNil() || p.String() != "p3.4" {
+		t.Fatalf("ProcID helpers: %v", p)
+	}
+	var m MsgID
+	if !m.IsNil() {
+		t.Fatal("zero MsgID not nil")
+	}
+	a := MsgID{Sender: p, Seq: 1}
+	b := MsgID{Sender: p, Seq: 2}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("MsgID.Less ordering wrong")
+	}
+	c := MsgID{Sender: ProcID{Node: 1, Local: 9}, Seq: 100}
+	if !c.Less(a) {
+		t.Fatal("MsgID.Less cross-sender ordering wrong")
+	}
+	if a.String() != "p3.4#1" {
+		t.Fatalf("MsgID.String = %q", a.String())
+	}
+}
+
+func TestLinkString(t *testing.T) {
+	l := Link{To: ProcID{Node: 1, Local: 2}, Channel: 3, Code: 4, DeliverToKernel: true}
+	if l.IsNil() {
+		t.Fatal("non-nil link reported nil")
+	}
+	if s := l.String(); s != "link(->p1.2 ch=3 code=4 kernel)" {
+		t.Fatalf("Link.String = %q", s)
+	}
+}
+
+// Property: encode/decode round-trips for arbitrary frames.
+func TestEncodeDecodeProperty(t *testing.T) {
+	gen := func(r *rand.Rand) *Frame {
+		f := &Frame{
+			Type:            []Type{Unguaranteed, Guaranteed, Ack, RecorderAck}[r.Intn(4)],
+			Src:             NodeID(r.Intn(100)),
+			Dst:             NodeID(r.Intn(100) - 1),
+			ID:              MsgID{Sender: ProcID{Node: NodeID(r.Intn(10)), Local: r.Uint32()}, Seq: r.Uint64()},
+			From:            ProcID{Node: NodeID(r.Intn(10)), Local: r.Uint32()},
+			To:              ProcID{Node: NodeID(r.Intn(10)), Local: r.Uint32()},
+			Channel:         uint16(r.Uint32()),
+			Code:            r.Uint32(),
+			DeliverToKernel: r.Intn(2) == 0,
+		}
+		if n := r.Intn(200); n > 0 {
+			f.Body = make([]byte, n)
+			r.Read(f.Body)
+		}
+		if r.Intn(2) == 0 {
+			f.PassedLink = &Link{
+				To:      ProcID{Node: NodeID(r.Intn(10)), Local: r.Uint32()},
+				Channel: uint16(r.Uint32()),
+				Code:    r.Uint32(),
+			}
+		}
+		return f
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(func(seed int64) bool {
+		f := gen(rand.New(rand.NewSource(seed)))
+		g, err := Decode(f.Encode())
+		return err == nil && reflect.DeepEqual(f, g)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: any single-byte corruption of the encoding is rejected.
+func TestCorruptionDetectionProperty(t *testing.T) {
+	enc := sampleFrame().Encode()
+	if err := quick.Check(func(pos int, mask byte) bool {
+		if mask == 0 {
+			return true
+		}
+		i := pos % len(enc)
+		if i < 0 {
+			i += len(enc)
+		}
+		b := append([]byte(nil), enc...)
+		b[i] ^= mask
+		_, err := Decode(b)
+		return err != nil
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty, want := range map[Type]string{
+		Unguaranteed: "unguaranteed",
+		Guaranteed:   "guaranteed",
+		Ack:          "ack",
+		RecorderAck:  "recorder-ack",
+		Token:        "token",
+	} {
+		if ty.String() != want {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, ty.String(), want)
+		}
+		if !ty.Valid() {
+			t.Errorf("Type %v not Valid", ty)
+		}
+	}
+	if Type(0).Valid() || Type(99).Valid() {
+		t.Error("invalid types reported valid")
+	}
+}
+
+func TestFrameString(t *testing.T) {
+	f := sampleFrame()
+	if s := f.String(); !bytes.Contains([]byte(s), []byte("guaranteed")) {
+		t.Fatalf("String = %q", s)
+	}
+	ack := &Frame{Type: Ack, Src: 1, Dst: 2, ID: MsgID{Sender: ProcID{Node: 1, Local: 1}, Seq: 3}}
+	if s := ack.String(); !bytes.Contains([]byte(s), []byte("ack")) {
+		t.Fatalf("ack String = %q", s)
+	}
+	if (&Frame{Type: Token}).String() != "token" {
+		t.Fatal("token String")
+	}
+}

@@ -1,0 +1,289 @@
+// Package lan simulates the local-area network media the paper targets
+// (§3.1, Ch. 6): broadcast media where "not only may any node overhear the
+// messages destined for another node, but it may do so passively".
+//
+// Five media are provided:
+//
+//   - Perfect: an idealized zero-loss broadcast used by unit tests.
+//   - Ether: CSMA/CD with collisions and binary exponential backoff
+//     (Metcalfe & Boggs). Publish-before-use must be enforced by the
+//     transport on this medium.
+//   - AckEther: the Acknowledging Ethernet of Tokoro & Tamaru extended with
+//     recorder-ack slots (§6.1.1) — a receiver discards any guaranteed frame
+//     the recorder did not acknowledge in the reserved slot.
+//   - Ring: a slotted token ring with an acknowledge field the recorder
+//     fills; it invalidates the checksum of frames it failed to store
+//     (§6.1.2).
+//   - Star: the Z8000 experimental configuration (Fig 4.1a) with the
+//     recorder as hub; "any messages received incorrectly by the recorder
+//     are not passed on" (§4.1).
+//
+// All media run on a shared simtime.Scheduler and support deterministic
+// fault injection: frame loss, tap misses, node downtime, and network
+// partition (§3.6).
+package lan
+
+import (
+	"fmt"
+
+	"publishing/internal/frame"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// Station is a network interface attached to a medium. The transport layer
+// of each node implements it.
+type Station interface {
+	// Receive hands the station a frame that completed transmission and that
+	// the medium's semantics allow it to use. Media pass a private copy.
+	Receive(f *frame.Frame)
+}
+
+// Tap is a passive listener — the recorder's attachment (§3.7 cites METRIC
+// and other Ethernet listeners as precedent). Observe is called for every
+// frame the tap hears; its return value reports whether the tap reliably
+// stored the frame. Media that enforce publish-before-use use that verdict
+// to decide whether receivers may accept the frame.
+type Tap interface {
+	Observe(f *frame.Frame) bool
+}
+
+// Medium is a broadcast network.
+type Medium interface {
+	// Attach registers a station under a node id. Attaching twice replaces
+	// the previous station (a rebooted node re-attaches its interface).
+	Attach(id frame.NodeID, s Station)
+	// AttachTap registers a passive listener resident at node id (partition
+	// and downtime apply to taps by node id).
+	AttachTap(id frame.NodeID, t Tap)
+	// Send transmits f from node src. Media never block: delivery is
+	// scheduled on the virtual clock according to the medium's semantics.
+	Send(src frame.NodeID, f *frame.Frame)
+	// Faults exposes the medium's fault-injection plan.
+	Faults() *FaultPlan
+	// Stats exposes medium counters.
+	Stats() *Stats
+}
+
+// Config carries the physical parameters shared by all media, defaulting to
+// the paper's measured environment (Fig 5.2).
+type Config struct {
+	// BitsPerSecond is the raw bandwidth. Paper: 10 megabits/second.
+	BitsPerSecond int64
+	// InterframeGap is the fixed per-frame interface overhead. Paper
+	// ("Ethernet interface interpacket delay"): 1.6 ms.
+	InterframeGap simtime.Time
+	// SlotTime is the CSMA/CD collision window (classic 10 Mb Ethernet:
+	// 51.2 µs).
+	SlotTime simtime.Time
+	// AckSlot is the reserved acknowledge slot of the Acknowledging
+	// Ethernet and the ring's ack field fill time.
+	AckSlot simtime.Time
+	// HopDelay is the per-station latency of the ring medium.
+	HopDelay simtime.Time
+}
+
+// DefaultConfig returns the Fig 5.2 parameters.
+func DefaultConfig() Config {
+	return Config{
+		BitsPerSecond: 10_000_000,
+		InterframeGap: 1600 * simtime.Microsecond,
+		SlotTime:      simtime.Time(51200), // 51.2 µs in ns
+		AckSlot:       64 * simtime.Microsecond,
+		HopDelay:      4 * simtime.Microsecond,
+	}
+}
+
+// TxTime returns the time to clock a frame of n bytes onto the wire.
+func (c Config) TxTime(n int) simtime.Time {
+	return simtime.Time(int64(n) * 8 * int64(simtime.Second) / c.BitsPerSecond)
+}
+
+// FrameTime is gap + transmission time, the full channel occupancy.
+func (c Config) FrameTime(n int) simtime.Time {
+	return c.InterframeGap + c.TxTime(n)
+}
+
+// FaultPlan injects deterministic or seeded-random faults into a medium.
+// The zero value injects nothing.
+type FaultPlan struct {
+	// LossProb drops a completed frame before any delivery (noise on the
+	// wire). Dropped frames are also unseen by taps.
+	LossProb float64
+	// TapMissProb makes a tap fail to store a heard frame — the "recorder
+	// received incorrectly" case that publish-before-use must handle.
+	TapMissProb float64
+	// ReceiverMissProb makes one receiving station fail to accept a frame
+	// even though it was on the wire (local interface error); the transport
+	// retransmission recovers it.
+	ReceiverMissProb float64
+
+	down      map[frame.NodeID]bool
+	partition map[frame.NodeID]int
+}
+
+// SetDown marks a node's network interface up or down. A down node neither
+// sends nor receives; its watchdog will eventually notice (§3.3.2).
+func (p *FaultPlan) SetDown(id frame.NodeID, down bool) {
+	if p.down == nil {
+		p.down = make(map[frame.NodeID]bool)
+	}
+	p.down[id] = down
+}
+
+// Down reports whether a node is down.
+func (p *FaultPlan) Down(id frame.NodeID) bool { return p.down[id] }
+
+// SetPartition assigns node id to partition group g. Nodes in different
+// groups cannot hear each other (§3.6). Group 0 is the default group.
+func (p *FaultPlan) SetPartition(id frame.NodeID, g int) {
+	if p.partition == nil {
+		p.partition = make(map[frame.NodeID]int)
+	}
+	p.partition[id] = g
+}
+
+// Heal removes all partitions.
+func (p *FaultPlan) Heal() { p.partition = nil }
+
+// group returns the partition group of a node.
+func (p *FaultPlan) group(id frame.NodeID) int { return p.partition[id] }
+
+// reachable reports whether b can hear a transmission from a.
+func (p *FaultPlan) reachable(a, b frame.NodeID) bool {
+	return !p.Down(b) && p.group(a) == p.group(b)
+}
+
+// Stats counts medium-level activity.
+type Stats struct {
+	FramesSent      uint64
+	FramesDelivered uint64
+	FramesLost      uint64
+	Collisions      uint64
+	TapMisses       uint64
+	RecorderBlocks  uint64 // frames receivers discarded for lack of recorder ack
+	BytesOnWire     uint64
+	BusyTime        simtime.Time
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("sent=%d delivered=%d lost=%d collisions=%d tapMiss=%d recBlock=%d bytes=%d busy=%v",
+		s.FramesSent, s.FramesDelivered, s.FramesLost, s.Collisions, s.TapMisses, s.RecorderBlocks, s.BytesOnWire, s.BusyTime)
+}
+
+// Utilization returns the fraction of the elapsed window the channel was
+// busy, the quantity plotted in Figure 5.5(c).
+func (s *Stats) Utilization(window simtime.Time) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(s.BusyTime) / float64(window)
+}
+
+// gated reports whether a frame type is subject to publish-before-use: the
+// recorder must store both messages and their end-to-end acknowledgements
+// (§4.4.1: "If it incorrectly receives a message or message acknowledgement,
+// the recorder can block the transmission"); a lost ack would otherwise let
+// a sender stop retransmitting a message whose arrival the recorder never
+// learned about.
+func gated(t frame.Type) bool { return t == frame.Guaranteed || t == frame.Ack }
+
+// base carries the plumbing every medium shares.
+type base struct {
+	cfg      Config
+	sched    *simtime.Scheduler
+	rng      *simtime.Rand
+	log      *trace.Log
+	stations map[frame.NodeID]Station
+	taps     []tapEntry
+	faults   FaultPlan
+	stats    Stats
+}
+
+type tapEntry struct {
+	id  frame.NodeID
+	tap Tap
+}
+
+func newBase(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log) base {
+	return base{
+		cfg:      cfg,
+		sched:    sched,
+		rng:      rng,
+		log:      log,
+		stations: make(map[frame.NodeID]Station),
+	}
+}
+
+func (b *base) Attach(id frame.NodeID, s Station) { b.stations[id] = s }
+
+func (b *base) AttachTap(id frame.NodeID, t Tap) {
+	for i, e := range b.taps {
+		if e.id == id {
+			b.taps[i].tap = t
+			return
+		}
+	}
+	b.taps = append(b.taps, tapEntry{id: id, tap: t})
+}
+
+func (b *base) Faults() *FaultPlan { return &b.faults }
+func (b *base) Stats() *Stats      { return &b.stats }
+
+// offerToTaps lets every reachable tap observe the frame and reports
+// whether all reachable taps stored it and at least one tap is reachable.
+// Down or partitioned-away taps are excused — with multiple recorders the
+// survivors supply the missing acknowledgements (§6.3); with a single
+// recorder down, nothing is reachable and the frame blocks. With no taps
+// attached at all it returns true (publishing disabled; nothing to wait
+// for).
+func (b *base) offerToTaps(src frame.NodeID, f *frame.Frame) bool {
+	if len(b.taps) == 0 {
+		return true
+	}
+	anyAlive := false
+	allStored := true
+	for _, e := range b.taps {
+		if !b.faults.reachable(src, e.id) {
+			continue
+		}
+		anyAlive = true
+		if b.faults.TapMissProb > 0 && b.rng.Bool(b.faults.TapMissProb) {
+			b.stats.TapMisses++
+			allStored = false
+			continue
+		}
+		if !e.tap.Observe(f.Clone()) {
+			b.stats.TapMisses++
+			allStored = false
+		}
+	}
+	return anyAlive && allStored
+}
+
+// deliver hands the frame to its destination station(s). withRecorderGate
+// media call it only after a positive tap verdict.
+func (b *base) deliver(src frame.NodeID, f *frame.Frame) {
+	if f.Dst == frame.Broadcast {
+		for id, s := range b.stations {
+			if id == src || !b.faults.reachable(src, id) {
+				continue
+			}
+			if b.faults.ReceiverMissProb > 0 && b.rng.Bool(b.faults.ReceiverMissProb) {
+				continue
+			}
+			b.stats.FramesDelivered++
+			s.Receive(f.Clone())
+		}
+		return
+	}
+	s, ok := b.stations[f.Dst]
+	if !ok || !b.faults.reachable(src, f.Dst) {
+		return
+	}
+	if b.faults.ReceiverMissProb > 0 && b.rng.Bool(b.faults.ReceiverMissProb) {
+		return
+	}
+	b.stats.FramesDelivered++
+	s.Receive(f.Clone())
+}

@@ -1,0 +1,75 @@
+package measure
+
+import (
+	"testing"
+
+	"publishing/internal/recorder"
+)
+
+// Figure 5.7's prose anchors (the table body is lost from the source):
+//   - without publishing, realTime − cpuTime = 1 ms (user-process time);
+//   - with publishing the difference grows to ~3 ms (2 ms of network
+//     transmission);
+//   - publishing adds ~26 ms of kernel CPU per message.
+func TestFig57ReproducesPaperDeltas(t *testing.T) {
+	rows := Fig57Table()
+	without, with := rows[0], rows[1]
+
+	if d := without.RealMS - without.CPUMS; d < 0.5 || d > 1.5 {
+		t.Fatalf("without publishing: real-cpu = %.2fms, paper says ~1ms (rows: %v)", d, rows)
+	}
+	if d := with.RealMS - with.CPUMS; d < 1.5 || d > 4.5 {
+		t.Fatalf("with publishing: real-cpu = %.2fms, paper says ~3ms (rows: %v)", d, rows)
+	}
+	if d := with.CPUMS - without.CPUMS; d < 23 || d > 29 {
+		t.Fatalf("publishing CPU overhead = %.2fms/message, paper says ~26ms (rows: %v)", d, rows)
+	}
+	if without.CPUMS <= 0 || with.CPUMS <= without.CPUMS {
+		t.Fatalf("implausible rows: %v", rows)
+	}
+}
+
+// Figure 5.8: 25 create/destroy cycles cost 608 ms without publishing and
+// 5135 ms with it — an ~8.4× blow-up caused entirely by pushing the control
+// messages through the network protocol. We assert the absolute numbers
+// within ~15% and the ratio's shape.
+func TestFig58ReproducesPaperNumbers(t *testing.T) {
+	rows := Fig58Table()
+	without, with := rows[0], rows[1]
+	if without.TotalCPUMS < 500 || without.TotalCPUMS > 720 {
+		t.Fatalf("without publishing = %.0fms, paper says 608ms", without.TotalCPUMS)
+	}
+	if with.TotalCPUMS < 4400 || with.TotalCPUMS > 5900 {
+		t.Fatalf("with publishing = %.0fms, paper says 5135ms", with.TotalCPUMS)
+	}
+	ratio := with.TotalCPUMS / without.TotalCPUMS
+	if ratio < 6 || ratio > 11 {
+		t.Fatalf("publishing blow-up ratio = %.1f, paper's is ~8.4", ratio)
+	}
+}
+
+// §5.2.2: 57 ms per message through the full kernel path, 12 ms after
+// inlining, 0.8 ms intercepting at the media layer.
+func TestPublishTimeLevels(t *testing.T) {
+	levels := PublishTimeLevels()
+	if len(levels) != 3 {
+		t.Fatalf("levels = %v", levels)
+	}
+	want := map[recorder.ProcessMode]float64{
+		recorder.ModeNaive:      57,
+		recorder.ModeOptimized:  12,
+		recorder.ModeMediaLayer: 0.8,
+	}
+	for _, l := range levels {
+		w := want[l.Mode]
+		if l.PerMS < w*0.95 || l.PerMS > w*1.05 {
+			t.Fatalf("%v: measured %.2fms, want ~%.1fms", l.Mode, l.PerMS, w)
+		}
+	}
+}
+
+func TestRowFormatting(t *testing.T) {
+	if Fig57(false).String() == "" || (PerProcess{}).String() == "" || (PublishCost{}).String() == "" {
+		t.Fatal("formatting broken")
+	}
+}

@@ -1,0 +1,239 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"publishing/internal/simtime"
+)
+
+func TestFig52Parameters(t *testing.T) {
+	h := Fig52()
+	if h.InterpacketDelay != 1600*simtime.Microsecond {
+		t.Fatal("interpacket delay")
+	}
+	if h.BitsPerSecond != 10_000_000 {
+		t.Fatal("bandwidth")
+	}
+	if h.DiskLatency != 3*simtime.Millisecond {
+		t.Fatal("disk latency")
+	}
+	if h.DiskBytesPerSecond != 2_000_000 {
+		t.Fatal("disk rate")
+	}
+	if h.PacketCPU != 800*simtime.Microsecond {
+		t.Fatal("packet CPU")
+	}
+	// Service times derived from them.
+	if got := h.netService(1024); got != 1600*simtime.Microsecond+819200*simtime.Nanosecond {
+		t.Fatalf("netService(1024) = %v", got)
+	}
+	if got := h.diskService(4096); got != 3*simtime.Millisecond+2048*simtime.Microsecond {
+		t.Fatalf("diskService(4096) = %v", got)
+	}
+}
+
+func TestFig53Distribution(t *testing.T) {
+	var sum float64
+	for _, b := range Fig53StateSizes() {
+		if b.KB < 4 || b.KB > 64 {
+			t.Fatalf("state size %d KB outside the paper's range", b.KB)
+		}
+		sum += b.Fraction
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if m := MeanStateKB(); m != 16 {
+		t.Fatalf("mean state = %d KB, want 16 (the operating points' mean)", m)
+	}
+}
+
+// §5.1: "The results were checkpoint intervals between 1 second for 4k byte
+// processes during high message rates and 2 minutes for 64k byte processes
+// during low message rates."
+func TestCheckpointIntervalClaims(t *testing.T) {
+	maxMsg, ok := Point("max-msg")
+	if !ok {
+		t.Fatal("no max-msg point")
+	}
+	iv := maxMsg.CheckpointInterval()
+	if iv < 900*simtime.Millisecond || iv > 1300*simtime.Millisecond {
+		t.Fatalf("4 KB high-rate checkpoint interval = %v, want ~1s", iv)
+	}
+	maxState, ok := Point("max-state")
+	if !ok {
+		t.Fatal("no max-state point")
+	}
+	iv = maxState.CheckpointInterval()
+	if iv < 105*simtime.Second || iv > 135*simtime.Second {
+		t.Fatalf("64 KB low-rate checkpoint interval = %v, want ~2min", iv)
+	}
+}
+
+// The abstract: "the recorder, constructed from current technology, can
+// support a system of up to 115 users."
+func TestCapacity115Users(t *testing.T) {
+	if got := AnalyticCapacity(); got != 115 {
+		t.Fatalf("analytic capacity = %d users, want 115", got)
+	}
+	if testing.Short() {
+		t.Skip("simulated capacity search is slow")
+	}
+	got := Capacity(1)
+	if got < 105 || got > 125 {
+		t.Fatalf("simulated capacity = %d users, want ~115", got)
+	}
+}
+
+// §5.1: "The first [exception] was the saturation of the disk system used
+// with the maximum long message rate. This saturation was removed by
+// allowing messages to be written out in 4k byte buffers."
+func TestDiskSaturationRemovedByBuffering(t *testing.T) {
+	p, _ := Point("max-msg")
+	unbuf := DefaultSystem(p, 5, 1)
+	unbuf.Buffered = false
+	unbuf.Measure = 120 * simtime.Second
+	ru := Simulate(unbuf)
+	if ru.DiskUtil < 0.99 {
+		t.Fatalf("unbuffered disk at max-msg/5 nodes: util=%.3f, want saturated", ru.DiskUtil)
+	}
+	buf := DefaultSystem(p, 5, 1)
+	buf.Measure = 120 * simtime.Second
+	rb := Simulate(buf)
+	if rb.DiskUtil > 0.5 {
+		t.Fatalf("buffered disk still loaded: util=%.3f", rb.DiskUtil)
+	}
+	if rb.NetworkUtil >= 0.99 {
+		t.Fatalf("network saturated at max-msg/5 nodes (util=%.3f); disk should be the binding resource", rb.NetworkUtil)
+	}
+}
+
+// §5.1: "The second problem occurred at the high system call rate operating
+// point ... all three subsystems saturate when more than 3 processing
+// nodes are attached." We reproduce the network (and, nearly, the CPU)
+// saturating just above 3 nodes; see EXPERIMENTS.md for the deviation note.
+func TestSyscallSaturationAboveThreeNodes(t *testing.T) {
+	p, _ := Point("max-syscall")
+	ok3 := DefaultSystem(p, 3, 1)
+	ok3.Measure = 120 * simtime.Second
+	r3 := Simulate(ok3)
+	if r3.NetworkUtil >= 0.99 {
+		t.Fatalf("already saturated at 3 nodes: net=%.3f", r3.NetworkUtil)
+	}
+	over := DefaultSystem(p, 4, 1)
+	over.Measure = 120 * simtime.Second
+	r4 := Simulate(over)
+	if r4.NetworkUtil < 0.99 {
+		t.Fatalf("not saturated at 4 nodes: net=%.3f", r4.NetworkUtil)
+	}
+	if r4.CPUUtil < 0.7 {
+		t.Fatalf("CPU should be heavily loaded at 4 nodes: %.3f", r4.CPUUtil)
+	}
+}
+
+// §5.1: "We found no cases in which much buffer space was needed in the
+// recording node (at most 28k bytes)" — across non-saturated cells.
+func TestRecorderBufferingBounded(t *testing.T) {
+	worst := 0.0
+	for _, p := range Fig54OperatingPoints() {
+		for _, nodes := range []int{1, 3, 5} {
+			cfg := DefaultSystem(p, nodes, 1)
+			cfg.Measure = 60 * simtime.Second
+			r := Simulate(cfg)
+			if r.NetworkUtil >= 0.95 || r.CPUUtil >= 0.95 || r.DiskUtil >= 0.95 {
+				continue // saturated cells queue unboundedly by definition
+			}
+			if r.RecorderBacklogKB > worst {
+				worst = r.RecorderBacklogKB
+			}
+		}
+	}
+	if worst > 32 {
+		t.Fatalf("recorder backlog high-water = %.1f KB, paper reports at most 28 KB", worst)
+	}
+	if worst == 0 {
+		t.Fatal("no backlog measured at all; accounting broken")
+	}
+}
+
+// §5.1: "The worst case for checkpoint and message storage was 2.76
+// megabytes." Our calibration lands at 2.66 MB (the max-load point: 85
+// processes × 2 × 16 KB) — a 4% deviation, documented in EXPERIMENTS.md.
+func TestWorstCaseStorage(t *testing.T) {
+	worst := 0.0
+	for _, p := range Fig54OperatingPoints() {
+		cfg := DefaultSystem(p, 5, 1)
+		cfg.Measure = simtime.Second // storage is analytic; no need to simulate long
+		r := Simulate(cfg)
+		if r.StorageKB > worst {
+			worst = r.StorageKB
+		}
+	}
+	if worst < 2300 || worst > 3000 {
+		t.Fatalf("worst-case storage = %.0f KB, want ~2560-2760 KB", worst)
+	}
+}
+
+// Utilization grows monotonically with node count at every point (the shape
+// of every Fig 5.5 curve).
+func TestFig55Monotonicity(t *testing.T) {
+	p, _ := Point("mean")
+	prev := Result{}
+	for nodes := 1; nodes <= 5; nodes++ {
+		cfg := DefaultSystem(p, nodes, 1)
+		cfg.Measure = 60 * simtime.Second
+		r := Simulate(cfg)
+		if nodes > 1 {
+			if r.NetworkUtil < prev.NetworkUtil*0.9 || r.CPUUtil < prev.CPUUtil*0.9 {
+				t.Fatalf("utilization not growing with nodes: %d nodes %+v vs %+v", nodes, r, prev)
+			}
+		}
+		prev = r
+	}
+	if prev.NetworkUtil < 0.25 || prev.NetworkUtil > 0.45 {
+		t.Fatalf("mean point at 5 nodes: network util = %.3f, want ~0.35", prev.NetworkUtil)
+	}
+}
+
+// More disks cut disk utilization proportionally (Fig 5.5a's disk sweep).
+func TestDisksReduceDiskUtil(t *testing.T) {
+	p, _ := Point("max-msg")
+	var utils []float64
+	for disks := 1; disks <= 3; disks++ {
+		cfg := DefaultSystem(p, 5, disks)
+		cfg.Measure = 60 * simtime.Second
+		utils = append(utils, Simulate(cfg).DiskUtil)
+	}
+	if !(utils[0] > utils[1] && utils[1] > utils[2]) {
+		t.Fatalf("disk utilization not decreasing with disks: %v", utils)
+	}
+	ratio := utils[0] / utils[2]
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("1-disk/3-disk utilization ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestSimulationDeterminism(t *testing.T) {
+	p, _ := Point("mean")
+	cfg := DefaultSystem(p, 3, 2)
+	cfg.Measure = 30 * simtime.Second
+	a, b := Simulate(cfg), Simulate(cfg)
+	if a != b {
+		t.Fatalf("model simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestPointLookup(t *testing.T) {
+	if _, ok := Point("mean"); !ok {
+		t.Fatal("mean point missing")
+	}
+	if _, ok := Point("nope"); ok {
+		t.Fatal("bogus point found")
+	}
+	for _, p := range Fig54OperatingPoints() {
+		if p.LoadAvg <= 0 || p.StateKB <= 0 || p.ShortPerProc <= 0 {
+			t.Fatalf("degenerate point %+v", p)
+		}
+	}
+}

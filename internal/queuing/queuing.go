@@ -1,0 +1,327 @@
+// Package queuing is a small open-queuing-network discrete-event simulator —
+// the stand-in for IBM's RESQ2 solver the paper used for its Chapter 5
+// performance study ("The model was an open queuing model and was solved
+// using IBM's RESQ2 model solver", §5.1). It provides Poisson sources,
+// multi-server FIFO queues with arbitrary service-time functions, byte
+// batchers (the recorder's 4 KB disk buffers), and sinks, with utilization,
+// queue-length, and response-time statistics over a measurement window.
+package queuing
+
+import (
+	"fmt"
+
+	"publishing/internal/simtime"
+)
+
+// Job is one customer flowing through the network.
+type Job struct {
+	// Class labels the job ("short", "long", "ckpt", "ack", "batch").
+	Class string
+	// Bytes sizes the job for byte-dependent service times and batching.
+	Bytes int
+	// Created is the job's birth time (response-time accounting).
+	Created simtime.Time
+}
+
+// Target consumes jobs.
+type Target interface {
+	Arrive(j *Job)
+}
+
+// Network owns the clock, the random stream, and the measurement window.
+type Network struct {
+	Sched *simtime.Scheduler
+	Rng   *simtime.Rand
+
+	measureStart simtime.Time
+	servers      []*Server
+	sources      []*Source
+}
+
+// New creates an empty network.
+func New(seed uint64) *Network {
+	return &Network{Sched: simtime.NewScheduler(), Rng: simtime.NewRand(seed)}
+}
+
+// Run advances the simulation to absolute time t.
+func (n *Network) Run(t simtime.Time) { n.Sched.Run(t) }
+
+// StartMeasuring discards statistics gathered so far (warm-up) and opens
+// the measurement window at the current time.
+func (n *Network) StartMeasuring() {
+	n.measureStart = n.Sched.Now()
+	for _, s := range n.servers {
+		s.resetStats()
+	}
+}
+
+// Window returns the elapsed measurement time.
+func (n *Network) Window() simtime.Time { return n.Sched.Now() - n.measureStart }
+
+// Source generates jobs with exponential interarrival times (Poisson).
+type Source struct {
+	net *Network
+	// Name labels the source; Class and Bytes stamp generated jobs.
+	Name  string
+	Class string
+	Bytes int
+	// Rate is jobs per second; zero disables the source.
+	Rate float64
+	// To receives the jobs.
+	To Target
+
+	running bool
+	// Generated counts emissions.
+	Generated uint64
+}
+
+// NewSource registers a Poisson source.
+func (n *Network) NewSource(name, class string, bytes int, rate float64, to Target) *Source {
+	s := &Source{net: n, Name: name, Class: class, Bytes: bytes, Rate: rate, To: to}
+	n.sources = append(n.sources, s)
+	return s
+}
+
+// Start begins generation.
+func (s *Source) Start() {
+	if s.running || s.Rate <= 0 {
+		return
+	}
+	s.running = true
+	s.scheduleNext()
+}
+
+func (s *Source) scheduleNext() {
+	mean := simtime.FromSeconds(1 / s.Rate)
+	s.net.Sched.After(s.net.Rng.Exp(mean), func() {
+		if !s.running {
+			return
+		}
+		s.Generated++
+		s.To.Arrive(&Job{Class: s.Class, Bytes: s.Bytes, Created: s.net.Sched.Now()})
+		s.scheduleNext()
+	})
+}
+
+// Stop halts generation.
+func (s *Source) Stop() { s.running = false }
+
+// ServerStats accumulates a server's measurements.
+type ServerStats struct {
+	Arrived      uint64
+	Served       uint64
+	BusyTime     simtime.Time // summed across parallel servers
+	TotalResp    simtime.Time // queue wait + service
+	MaxQueue     int
+	BacklogBytes int // current bytes queued or in service
+	MaxBacklog   int // high-water of BacklogBytes
+}
+
+// Server is a K-server FIFO queue.
+type Server struct {
+	net *Network
+	// Name labels the server.
+	Name string
+	// K is the number of parallel servers (disks in the array).
+	K int
+	// Service returns a job's service demand.
+	Service func(j *Job) simtime.Time
+	// Route receives completed jobs; nil discards them.
+	Route Target
+
+	queue []*Job
+	busy  int
+	stats ServerStats
+}
+
+// NewServer registers a server.
+func (n *Network) NewServer(name string, k int, service func(j *Job) simtime.Time, route Target) *Server {
+	if k <= 0 {
+		k = 1
+	}
+	s := &Server{net: n, Name: name, K: k, Service: service, Route: route}
+	n.servers = append(n.servers, s)
+	return s
+}
+
+func (s *Server) resetStats() { s.stats = ServerStats{BacklogBytes: s.stats.BacklogBytes} }
+
+// Arrive implements Target.
+func (s *Server) Arrive(j *Job) {
+	s.stats.Arrived++
+	s.stats.BacklogBytes += j.Bytes
+	if s.stats.BacklogBytes > s.stats.MaxBacklog {
+		s.stats.MaxBacklog = s.stats.BacklogBytes
+	}
+	if s.busy < s.K {
+		s.serve(j)
+		return
+	}
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.stats.MaxQueue {
+		s.stats.MaxQueue = len(s.queue)
+	}
+}
+
+func (s *Server) serve(j *Job) {
+	s.busy++
+	d := s.Service(j)
+	if d < 0 {
+		d = 0
+	}
+	s.net.Sched.After(d, func() { s.complete(j, d) })
+}
+
+func (s *Server) complete(j *Job, d simtime.Time) {
+	s.busy--
+	s.stats.Served++
+	s.stats.BusyTime += d
+	s.stats.TotalResp += s.net.Sched.Now() - j.Created
+	s.stats.BacklogBytes -= j.Bytes
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		s.queue = s.queue[1:]
+		s.serve(next)
+	}
+	if s.Route != nil {
+		s.Route.Arrive(j)
+	}
+}
+
+// Stats returns the server's measurements.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// Utilization is the measured fraction of server capacity in use.
+func (s *Server) Utilization() float64 {
+	w := s.net.Window()
+	if w <= 0 {
+		return 0
+	}
+	u := float64(s.stats.BusyTime) / (float64(w) * float64(s.K))
+	return u
+}
+
+// MeanResponse is the average time from arrival at this server to service
+// completion (for jobs completed in the window).
+func (s *Server) MeanResponse() simtime.Time {
+	if s.stats.Served == 0 {
+		return 0
+	}
+	return s.stats.TotalResp / simtime.Time(s.stats.Served)
+}
+
+// QueueLen returns the instantaneous queue length (excluding in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// String summarizes the server.
+func (s *Server) String() string {
+	return fmt.Sprintf("%s: util=%.3f served=%d maxq=%d maxbacklog=%dB",
+		s.Name, s.Utilization(), s.stats.Served, s.stats.MaxQueue, s.stats.MaxBacklog)
+}
+
+// Batcher accumulates job bytes and emits one batch job per Cap bytes — the
+// recorder's 4 KB write buffer that rescued the disk in §5.1 ("allowing
+// messages to be written out in 4k byte buffers rather than forcing one
+// disk write per message").
+type Batcher struct {
+	net *Network
+	// Name labels the batcher.
+	Name string
+	// Cap is the batch size in bytes.
+	Cap int
+	// To receives batch jobs.
+	To Target
+	// BatchClass stamps emitted jobs.
+	BatchClass string
+
+	cur     int
+	Batches uint64
+}
+
+// NewBatcher registers a batcher.
+func (n *Network) NewBatcher(name string, capBytes int, class string, to Target) *Batcher {
+	return &Batcher{net: n, Name: name, Cap: capBytes, BatchClass: class, To: to}
+}
+
+// Arrive implements Target.
+func (b *Batcher) Arrive(j *Job) {
+	b.cur += j.Bytes
+	for b.cur >= b.Cap {
+		b.cur -= b.Cap
+		b.Batches++
+		b.To.Arrive(&Job{Class: b.BatchClass, Bytes: b.Cap, Created: b.net.Sched.Now()})
+	}
+}
+
+// Pending returns bytes buffered but not yet emitted.
+func (b *Batcher) Pending() int { return b.cur }
+
+// Sink counts and times completed jobs.
+type Sink struct {
+	net *Network
+	// Name labels the sink.
+	Name string
+
+	Count        uint64
+	TotalLatency simtime.Time
+}
+
+// NewSink registers a sink.
+func (n *Network) NewSink(name string) *Sink {
+	return &Sink{net: n, Name: name}
+}
+
+// Arrive implements Target.
+func (s *Sink) Arrive(j *Job) {
+	s.Count++
+	s.TotalLatency += s.net.Sched.Now() - j.Created
+}
+
+// MeanLatency is the average birth-to-sink time.
+func (s *Sink) MeanLatency() simtime.Time {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.TotalLatency / simtime.Time(s.Count)
+}
+
+// Splitter sends each arriving job to its primary target and emits a
+// companion job (e.g. the acknowledgement a delivered message provokes)
+// into a second target.
+type Splitter struct {
+	// Primary receives the original job.
+	Primary Target
+	// Companion, if non-nil, builds the side job; Secondary receives it.
+	Companion func(j *Job) *Job
+	Secondary Target
+}
+
+// Arrive implements Target.
+func (s *Splitter) Arrive(j *Job) {
+	if s.Companion != nil && s.Secondary != nil {
+		if side := s.Companion(j); side != nil {
+			s.Secondary.Arrive(side)
+		}
+	}
+	if s.Primary != nil {
+		s.Primary.Arrive(j)
+	}
+}
+
+// Classify routes jobs by class.
+type Classify struct {
+	// Routes maps class -> target; Default catches the rest.
+	Routes  map[string]Target
+	Default Target
+}
+
+// Arrive implements Target.
+func (c *Classify) Arrive(j *Job) {
+	if t, ok := c.Routes[j.Class]; ok {
+		t.Arrive(j)
+		return
+	}
+	if c.Default != nil {
+		c.Default.Arrive(j)
+	}
+}

@@ -1,0 +1,205 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+
+	"publishing/internal/simtime"
+)
+
+// An M/M/1 queue must match theory: utilization ρ = λ/μ and mean response
+// W = 1/(μ−λ).
+func TestMM1AgainstTheory(t *testing.T) {
+	const lambda = 50.0 // jobs/s
+	const mu = 80.0     // service rate
+	n := New(42)
+	sink := n.NewSink("done")
+	var srv *Server
+	srv = n.NewServer("s", 1, func(j *Job) simtime.Time {
+		return n.Rng.Exp(simtime.FromSeconds(1 / mu))
+	}, sink)
+	src := n.NewSource("src", "job", 100, lambda, srv)
+	src.Start()
+	n.Run(20 * simtime.Second) // warm up
+	n.StartMeasuring()
+	n.Run(520 * simtime.Second)
+
+	rho := lambda / mu
+	if got := srv.Utilization(); math.Abs(got-rho) > 0.02 {
+		t.Fatalf("utilization = %.3f, want ~%.3f", got, rho)
+	}
+	wantW := 1 / (mu - lambda) // seconds
+	gotW := sink.MeanLatency().Seconds()
+	if math.Abs(gotW-wantW)/wantW > 0.15 {
+		t.Fatalf("mean response = %.4fs, want ~%.4fs", gotW, wantW)
+	}
+}
+
+// An M/D/1 queue's utilization still equals ρ with deterministic service.
+func TestMD1Utilization(t *testing.T) {
+	n := New(7)
+	srv := n.NewServer("s", 1, func(j *Job) simtime.Time { return 2 * simtime.Millisecond }, nil)
+	n.NewSource("src", "m", 128, 300, srv).Start()
+	n.Run(5 * simtime.Second)
+	n.StartMeasuring()
+	n.Run(205 * simtime.Second)
+	if got, want := srv.Utilization(), 0.6; math.Abs(got-want) > 0.02 {
+		t.Fatalf("utilization = %.3f, want ~%.3f", got, want)
+	}
+	if srv.Stats().Served == 0 || srv.MeanResponse() < 2*simtime.Millisecond {
+		t.Fatal("service accounting broken")
+	}
+}
+
+// K parallel servers split the load: utilization is ρ/K per server.
+func TestMultiServer(t *testing.T) {
+	n := New(9)
+	srv := n.NewServer("disks", 3, func(j *Job) simtime.Time { return 5 * simtime.Millisecond }, nil)
+	n.NewSource("src", "w", 4096, 300, srv).Start() // demand 1.5 server-sec/sec
+	n.Run(2 * simtime.Second)
+	n.StartMeasuring()
+	n.Run(102 * simtime.Second)
+	if got, want := srv.Utilization(), 0.5; math.Abs(got-want) > 0.02 {
+		t.Fatalf("3-server utilization = %.3f, want ~%.3f", got, want)
+	}
+}
+
+// A saturated server's utilization pins at ~1 and its queue grows.
+func TestSaturation(t *testing.T) {
+	n := New(3)
+	srv := n.NewServer("s", 1, func(j *Job) simtime.Time { return 10 * simtime.Millisecond }, nil)
+	n.NewSource("src", "m", 64, 200, srv).Start() // demand 2.0
+	n.Run(simtime.Second)
+	n.StartMeasuring()
+	n.Run(61 * simtime.Second)
+	if got := srv.Utilization(); got < 0.99 {
+		t.Fatalf("saturated utilization = %.3f", got)
+	}
+	if srv.QueueLen() < 100 {
+		t.Fatalf("queue did not grow under overload: %d", srv.QueueLen())
+	}
+}
+
+// The batcher emits one batch per Cap bytes — the §5.1 4 KB buffer.
+func TestBatcher(t *testing.T) {
+	n := New(5)
+	srv := n.NewServer("disk", 1, func(j *Job) simtime.Time { return 5 * simtime.Millisecond }, nil)
+	b := n.NewBatcher("buf", 4096, "batch", srv)
+	for i := 0; i < 10; i++ {
+		b.Arrive(&Job{Class: "m", Bytes: 1024})
+	}
+	if b.Batches != 2 {
+		t.Fatalf("batches = %d, want 2", b.Batches)
+	}
+	if b.Pending() != 2048 {
+		t.Fatalf("pending = %d, want 2048", b.Pending())
+	}
+	// A single oversized arrival flushes multiple batches.
+	b.Arrive(&Job{Class: "m", Bytes: 9000})
+	if b.Batches != 4 {
+		t.Fatalf("batches after big arrival = %d, want 4", b.Batches)
+	}
+	n.Run(simtime.Second)
+	if srv.Stats().Served != 4 {
+		t.Fatalf("disk served %d batches", srv.Stats().Served)
+	}
+}
+
+// Buffered writes need far less disk time than per-message writes — the
+// exact mechanism that removed the §5.1 disk saturation.
+func TestBatchingRelievesDisk(t *testing.T) {
+	diskService := func(j *Job) simtime.Time {
+		// 3 ms latency + bytes at 2 MB/s (Fig 5.2).
+		return 3*simtime.Millisecond + simtime.Time(int64(j.Bytes)*int64(simtime.Second)/2_000_000)
+	}
+	run := func(buffered bool) float64 {
+		n := New(11)
+		disk := n.NewServer("disk", 1, diskService, nil)
+		var to Target = disk
+		if buffered {
+			to = n.NewBatcher("buf", 4096, "batch", disk)
+		}
+		n.NewSource("long", "long", 1024, 280, to).Start()
+		n.Run(2 * simtime.Second)
+		n.StartMeasuring()
+		n.Run(62 * simtime.Second)
+		return disk.Utilization()
+	}
+	unbuf, buf := run(false), run(true)
+	if unbuf < 0.95 {
+		t.Fatalf("unbuffered disk should saturate: util=%.3f", unbuf)
+	}
+	if buf > 0.5 {
+		t.Fatalf("buffered disk should be relieved: util=%.3f", buf)
+	}
+}
+
+func TestSplitterAndClassify(t *testing.T) {
+	n := New(1)
+	dataSink := n.NewSink("data")
+	ackSink := n.NewSink("ack")
+	cl := &Classify{Routes: map[string]Target{"ack": ackSink}, Default: dataSink}
+	sp := &Splitter{
+		Primary:   cl,
+		Secondary: cl,
+		Companion: func(j *Job) *Job {
+			return &Job{Class: "ack", Bytes: 32, Created: j.Created}
+		},
+	}
+	sp.Arrive(&Job{Class: "long", Bytes: 1024})
+	sp.Arrive(&Job{Class: "short", Bytes: 128})
+	if dataSink.Count != 2 || ackSink.Count != 2 {
+		t.Fatalf("splitter/classify routing: data=%d ack=%d", dataSink.Count, ackSink.Count)
+	}
+}
+
+func TestSourceStopAndZeroRate(t *testing.T) {
+	n := New(2)
+	sink := n.NewSink("x")
+	src := n.NewSource("s", "m", 1, 100, sink)
+	src.Start()
+	n.Run(simtime.Second)
+	src.Stop()
+	at := sink.Count
+	n.Run(2 * simtime.Second)
+	if sink.Count > at+1 { // at most one already-scheduled arrival
+		t.Fatalf("source kept generating after Stop: %d -> %d", at, sink.Count)
+	}
+	zero := n.NewSource("z", "m", 1, 0, sink)
+	zero.Start()
+	n.Run(3 * simtime.Second)
+	if zero.Generated != 0 {
+		t.Fatal("zero-rate source generated jobs")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() uint64 {
+		n := New(77)
+		srv := n.NewServer("s", 1, func(j *Job) simtime.Time {
+			return n.Rng.Exp(3 * simtime.Millisecond)
+		}, nil)
+		n.NewSource("a", "m", 10, 100, srv).Start()
+		n.NewSource("b", "m", 20, 50, srv).Start()
+		n.Run(30 * simtime.Second)
+		return srv.Stats().Served
+	}
+	if run() != run() {
+		t.Fatal("queuing simulation not deterministic")
+	}
+}
+
+func TestBacklogTracking(t *testing.T) {
+	n := New(4)
+	srv := n.NewServer("disk", 1, func(j *Job) simtime.Time { return 100 * simtime.Millisecond }, nil)
+	for i := 0; i < 5; i++ {
+		srv.Arrive(&Job{Bytes: 1000, Created: n.Sched.Now()})
+	}
+	if srv.Stats().MaxBacklog != 5000 {
+		t.Fatalf("max backlog = %d, want 5000", srv.Stats().MaxBacklog)
+	}
+	n.Run(simtime.Second)
+	if srv.Stats().BacklogBytes != 0 {
+		t.Fatalf("backlog not drained: %d", srv.Stats().BacklogBytes)
+	}
+}

@@ -1,0 +1,259 @@
+package recorder
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"publishing/internal/frame"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// This file implements §6.3, "Multiple recorders for reliability": with n
+// recorders all recording all messages, n−1 can fail before the network
+// becomes unavailable. Three problems are solved exactly as the thesis
+// prescribes:
+//
+//  1. Coordinating recovery: each node has a priority vector over the
+//     recorders; on detecting a node crash, a recorder queries every
+//     higher-priority recorder and defers if any is "willing and able to
+//     perform recovery"; silence for the claim interval means the duty
+//     falls through. A deferring recorder "continues to monitor" and
+//     requeries periodically in case the higher recorder dies mid-recovery.
+//  2. Ensuring all recorders record each message: the media require a
+//     positive verdict from every *reachable* tap before a message (or
+//     ack) is usable — the per-recorder acknowledge slots of §6.3.
+//  3. Recovering failed recorders: a restarted recorder rebuilds from its
+//     own store, then forces every process to checkpoint; once they have,
+//     its stale stream suffixes are irrelevant and it resumes accepting
+//     recovery responsibilities.
+
+// peerKind discriminates recorder-to-recorder messages.
+type peerKind uint8
+
+const (
+	peerQuery peerKind = iota + 1 // "willing to recover node N?"
+	peerWilling
+)
+
+// peerMsg is the body of recorder-to-recorder traffic (channel chanPeer).
+type peerMsg struct {
+	Kind peerKind
+	Node frame.NodeID
+	Code uint32
+}
+
+// chanPeer carries recorder-to-recorder arbitration.
+const chanPeer = 3
+
+func encodePeer(m *peerMsg) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+func decodePeer(b []byte) (*peerMsg, error) {
+	var m peerMsg
+	err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m)
+	return &m, err
+}
+
+// higherPeers returns the recorder procs with priority above ours for a
+// node, per the node's priority vector (default: ascending rank).
+func (r *Recorder) higherPeers(node frame.NodeID) []frame.ProcID {
+	if len(r.cfg.Peers) == 0 {
+		return nil
+	}
+	order := r.cfg.priorityFor(node, len(r.cfg.Peers)+1)
+	var out []frame.ProcID
+	for _, rank := range order {
+		if rank == r.cfg.Rank {
+			break
+		}
+		// Ranks map onto the combined (self + peers) list the cluster
+		// built; PeerByRank resolves them.
+		if p, ok := r.cfg.peerByRank(rank); ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// priorityFor returns the recorder-rank order responsible for a node.
+func (c *Config) priorityFor(node frame.NodeID, nRecs int) []int {
+	if c.Priority != nil {
+		return c.Priority(node)
+	}
+	order := make([]int, nRecs)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// peerByRank resolves a rank to a peer's proc id (our own rank resolves to
+// nothing — we are not our own peer).
+func (c *Config) peerByRank(rank int) (frame.ProcID, bool) {
+	if rank == c.Rank {
+		return frame.NilProc, false
+	}
+	// Peers are stored in rank order with our own slot removed; map back.
+	idx := rank
+	if rank > c.Rank {
+		idx = rank - 1
+	}
+	if idx < 0 || idx >= len(c.Peers) {
+		return frame.NilProc, false
+	}
+	return c.Peers[idx], true
+}
+
+// sendPeer ships an arbitration message to another recorder.
+func (r *Recorder) sendPeer(to frame.ProcID, m *peerMsg) {
+	r.sendSeq++
+	r.ep.SendGuaranteed(&frame.Frame{
+		Type:    frame.Guaranteed,
+		Dst:     to.Node,
+		ID:      frame.MsgID{Sender: r.cfg.Proc, Seq: r.restartNumber<<40 | r.sendSeq},
+		From:    r.cfg.Proc,
+		To:      to,
+		Channel: chanPeer,
+		Body:    encodePeer(m),
+	})
+}
+
+// handlePeer serves arbitration traffic.
+func (r *Recorder) handlePeer(f *frame.Frame) {
+	m, err := decodePeer(f.Body)
+	if err != nil {
+		return
+	}
+	switch m.Kind {
+	case peerQuery:
+		// We are alive; we accept the duty unless still catching up after
+		// our own restart (§6.3's "up to date and able to accept recovery
+		// responsibilities").
+		if r.catchingUp {
+			return // silence means "not willing"; the asker's timer decides
+		}
+		r.sendPeer(f.From, &peerMsg{Kind: peerWilling, Node: m.Node, Code: m.Code})
+		// Taking the duty: behave as if our own watchdog found the node.
+		if w, ok := r.watch[m.Node]; ok && !w.down {
+			w.down = true
+			r.stats.ProcessorCrashes++
+			r.log.Add(trace.KindDetect, int(r.cfg.Node), nodeSubject(m.Node),
+				"accepting recovery duty from %s", f.From)
+			r.actOnCrash(w)
+		}
+	case peerWilling:
+		if fn, ok := r.waiters[m.Code]; ok {
+			delete(r.waiters, m.Code)
+			fn(f)
+		}
+	}
+}
+
+// arbitrate decides who recovers a crashed node (§6.3). Without peers the
+// duty is ours immediately.
+func (r *Recorder) arbitrate(w *watchState) {
+	higher := r.higherPeers(w.node)
+	if len(higher) == 0 {
+		w.responsible = true
+		r.actOnCrash(w)
+		return
+	}
+	code := r.nextCode
+	r.nextCode++
+	answered := false
+	r.waiters[code] = func(*frame.Frame) {
+		answered = true
+		w.responsible = false
+		r.log.Add(trace.KindDetect, int(r.cfg.Node), nodeSubject(w.node),
+			"higher-priority recorder took node %d; monitoring", w.node)
+		// "If P_i does not recover in a set interval, R periodically
+		// requeries its higher priority nodes" (§6.3).
+		epoch := r.epoch
+		r.sched.After(r.cfg.RecoveryRetry, func() {
+			if r.epoch != epoch || r.crashed {
+				return
+			}
+			if w.down {
+				r.arbitrate(w)
+			}
+		})
+	}
+	for _, p := range higher {
+		r.sendPeer(p, &peerMsg{Kind: peerQuery, Node: w.node, Code: code})
+	}
+	epoch := r.epoch
+	claim := r.cfg.ClaimTimeout
+	if claim <= 0 {
+		claim = 2 * simtime.Second
+	}
+	r.sched.After(claim, func() {
+		if r.epoch != epoch || r.crashed || answered {
+			return
+		}
+		delete(r.waiters, code)
+		if w.down {
+			r.log.Add(trace.KindDetect, int(r.cfg.Node), nodeSubject(w.node),
+				"no higher-priority recorder answered; taking node %d", w.node)
+			w.responsible = true
+			r.actOnCrash(w)
+		}
+	})
+}
+
+// beginCatchUp starts the §6.3 restart catch-up: force a checkpoint from
+// every live process; until they all land, this recorder declines recovery
+// duties (its stream suffixes may be stale from its downtime).
+func (r *Recorder) beginCatchUp() {
+	if len(r.cfg.Peers) == 0 {
+		return // sole recorder: nothing was published while we were down
+	}
+	r.catchingUp = true
+	r.awaitCk = make(map[frame.ProcID]bool)
+	for p, e := range r.db {
+		if !e.Dead && e.Spec.Recoverable {
+			r.awaitCk[p] = true
+			r.RequestCheckpoint(p)
+		}
+	}
+	r.log.Add(trace.KindRecorder, int(r.cfg.Node), "recorder",
+		"catching up: awaiting %d forced checkpoints", len(r.awaitCk))
+	r.checkCaughtUp()
+	// Fallback: processes that cannot checkpoint (Program images) never
+	// will; cap the catch-up phase.
+	epoch := r.epoch
+	r.sched.After(10*simtime.Second, func() {
+		if r.epoch != epoch || r.crashed {
+			return
+		}
+		if r.catchingUp {
+			r.log.Add(trace.KindRecorder, int(r.cfg.Node), "recorder", "catch-up timed out; resuming duties")
+			r.finishCatchUp()
+		}
+	})
+}
+
+func (r *Recorder) noteCatchUpProgress(p frame.ProcID) {
+	if !r.catchingUp {
+		return
+	}
+	delete(r.awaitCk, p)
+	r.checkCaughtUp()
+}
+
+func (r *Recorder) checkCaughtUp() {
+	if r.catchingUp && len(r.awaitCk) == 0 {
+		r.finishCatchUp()
+	}
+}
+
+func (r *Recorder) finishCatchUp() {
+	r.catchingUp = false
+	r.awaitCk = nil
+	r.log.Add(trace.KindRecorder, int(r.cfg.Node), "recorder", "caught up; accepting recovery duties")
+}

@@ -1,0 +1,784 @@
+// Package recorder implements the paper's central contribution: the passive
+// recorder of published communications (§3.3, §4.5) and its recovery
+// manager (§3.3.3, §4.6–4.7).
+//
+// The recorder attaches to the broadcast medium as a tap and stores every
+// guaranteed message; overheard end-to-end acknowledgements tell it the
+// order in which messages were accepted at each destination (§4.4.1). Node
+// kernels send it bookkeeping notices — process creation/destruction,
+// out-of-order channel reads (§4.4.2), checkpoints, and fault traps — as
+// ordinary published messages. Watchdogs detect processor crashes by
+// timeout (§3.3.2, §4.6). A recovery process per crashed process recreates
+// it from its last checkpoint (or initial image), replays its published
+// messages in their original read order, and tells the kernel when direct
+// traffic may resume (§3.3.3, §4.7). The recorder itself recovers from
+// crashes by rebuilding its database from stable storage and running the
+// §3.3.4 restart protocol, with restart numbers guarding against recursive
+// crashes (§3.4).
+package recorder
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"publishing/internal/demos"
+	"publishing/internal/frame"
+	"publishing/internal/lan"
+	"publishing/internal/simtime"
+	"publishing/internal/stablestore"
+	"publishing/internal/trace"
+	"publishing/internal/transport"
+)
+
+// ProcessMode selects the recorder's per-message processing cost,
+// reproducing the three implementation points of §5.2.2: the unmodified
+// kernel path measured at 57 ms, the inlined version at 12 ms, and the
+// media-layer interception goal of 0.8 ms.
+type ProcessMode int
+
+const (
+	// ModeNaive: messages climb the whole network protocol stack (57 ms).
+	ModeNaive ProcessMode = iota
+	// ModeOptimized: subroutine calls replaced by inline routines (12 ms).
+	ModeOptimized
+	// ModeMediaLayer: interception directly at the media layer (0.8 ms),
+	// the queuing model's assumption (Fig 5.2 "time to process a packet").
+	ModeMediaLayer
+)
+
+// PerMessageCPU returns the publish processing cost of the mode.
+func (m ProcessMode) PerMessageCPU() simtime.Time {
+	switch m {
+	case ModeNaive:
+		return 57 * simtime.Millisecond
+	case ModeOptimized:
+		return 12 * simtime.Millisecond
+	default:
+		return 800 * simtime.Microsecond
+	}
+}
+
+// String names the mode.
+func (m ProcessMode) String() string {
+	switch m {
+	case ModeNaive:
+		return "naive"
+	case ModeOptimized:
+		return "optimized"
+	default:
+		return "media-layer"
+	}
+}
+
+// Action tells the recovery manager what to do about a processor crash —
+// the three operator choices of §4.6.
+type Action int
+
+const (
+	// ActionRecoverSame restarts the node's processes on the same
+	// processor once it reboots.
+	ActionRecoverSame Action = iota
+	// ActionRecoverSpare migrates the node's processes to a spare.
+	ActionRecoverSpare
+	// ActionNoRecover abandons the node's processes.
+	ActionNoRecover
+)
+
+// Decision is the operator's answer to a processor crash.
+type Decision struct {
+	Action Action
+	Spare  frame.NodeID
+}
+
+// Config tunes a recorder.
+type Config struct {
+	// Node is the recording node's station address; Proc the recording
+	// software's process id (notices are addressed to it).
+	Node frame.NodeID
+	Proc frame.ProcID
+	// Nodes are the processing nodes to watch.
+	Nodes []frame.NodeID
+	// Mode is the publish processing cost model (§5.2.2).
+	Mode ProcessMode
+	// EmitRecorderAcks broadcasts a RecorderAck frame for every stored
+	// guaranteed message — transport-level publish-before-use for media
+	// without hardware ack slots (§6.1).
+	EmitRecorderAcks bool
+	// FlushEveryMessage forces one stable-store write per message instead
+	// of 4 KB buffering — the configuration whose disk saturation §5.1
+	// reports before the buffering fix.
+	FlushEveryMessage bool
+	// WatchInterval is the watchdog ping period; MissThreshold consecutive
+	// silent intervals declare a processor crash (§4.6).
+	WatchInterval simtime.Time
+	MissThreshold int
+	// ReplayGrace delays the start of replay after a crash so in-flight
+	// advisories and acks drain into the database.
+	ReplayGrace simtime.Time
+	// RecoveryRetry re-runs a recovery that saw no progress (lost node,
+	// recursive crash) after this long.
+	RecoveryRetry simtime.Time
+	// OnProcessorCrash is the operator query of §4.6; nil defaults to
+	// recover-on-same-processor.
+	OnProcessorCrash func(node frame.NodeID) Decision
+	// RebootFn asks the outside world (the cluster, standing in for a
+	// front-panel reset) to reboot a crashed node.
+	RebootFn func(node frame.NodeID)
+	// StoreFailProb makes the tap randomly fail to store a frame, for
+	// exercising publish-before-use.
+	StoreFailProb float64
+
+	// Multiple-recorder support (§6.3). Peers lists the other recorders'
+	// procs in rank order (this recorder's own slot removed); Rank is this
+	// recorder's position in the combined order. Priority, when set, maps
+	// a node to its recorder-rank priority vector V_i; nil means ascending
+	// rank for every node. NoticeProcs lists every recorder proc so the
+	// tap can consume kernel notices addressed to any of them.
+	Peers        []frame.ProcID
+	Rank         int
+	Priority     func(node frame.NodeID) []int
+	ClaimTimeout simtime.Time
+	NoticeProcs  []frame.ProcID
+}
+
+// DefaultConfig returns simulation defaults for a recorder at node.
+func DefaultConfig(node frame.NodeID, watched []frame.NodeID) Config {
+	return Config{
+		Node:          node,
+		Proc:          frame.ProcID{Node: node, Local: 1},
+		Nodes:         watched,
+		Mode:          ModeMediaLayer,
+		WatchInterval: 500 * simtime.Millisecond,
+		MissThreshold: 3,
+		ReplayGrace:   200 * simtime.Millisecond,
+		RecoveryRetry: 20 * simtime.Second,
+	}
+}
+
+// Stats counts recorder activity.
+type Stats struct {
+	MessagesSeen        uint64
+	MessagesPending     uint64
+	ArrivalsRecorded    uint64
+	BytesStored         uint64
+	AcksSeen            uint64
+	Notices             uint64
+	Advisories          uint64
+	CheckpointsStored   uint64
+	ProcessCrashes      uint64
+	ProcessorCrashes    uint64
+	RecoveriesStarted   uint64
+	RecoveriesCompleted uint64
+	MessagesReplayed    uint64
+	RecorderAcksSent    uint64
+	MissedArrivals      uint64
+	StoreFailures       uint64
+	PublishCPU          simtime.Time
+}
+
+// storedMsg is one published message in a process's stream.
+type storedMsg struct {
+	ID      frame.MsgID
+	From    frame.ProcID
+	Channel uint16
+	Code    uint32
+	Body    []byte
+	Link    *frame.Link
+	ArrSeq  uint64
+	// SeenAt is when the tap heard the frame (pending-sweep bookkeeping;
+	// not persisted semantics).
+	SeenAt simtime.Time
+}
+
+// advisory is one §4.4.2 read-order correction.
+type advisory struct {
+	ReadID frame.MsgID
+	HeadID frame.MsgID
+	AdvSeq uint64
+}
+
+// procEntry is the §4.5 per-process database record: "the process
+// identifier, the identifier of the most recent message sent by the
+// process, a list of ids of messages received by the process (since the
+// last checkpoint), the file name of the last checkpoint, the id of the
+// first valid message, a list of disk pages containing messages to the
+// process, and whether or not the process is recovering."
+type procEntry struct {
+	Proc frame.ProcID
+	Spec demos.ProcSpec
+	Node frame.NodeID
+
+	LastSent uint64
+
+	Arrivals   []storedMsg
+	have       map[frame.MsgID]bool
+	Advisories []advisory
+	ArrSeqNext uint64
+	AdvSeqNext uint64
+
+	Checkpoint  []byte
+	CkSendSeq   uint64
+	CkReadCount uint64
+	CkStateKB   int
+	BaseReads   uint64
+	LastCkAt    simtime.Time
+
+	Rev        uint64 // meta revision for stable storage
+	Recovering bool
+	Dead       bool
+}
+
+// Recorder is the recording node: tap, database, stable store, and
+// recovery manager.
+type Recorder struct {
+	cfg   Config
+	sched *simtime.Scheduler
+	rng   *simtime.Rand
+	log   *trace.Log
+	med   lan.Medium
+	ep    *transport.Endpoint
+	store *stablestore.Store
+
+	db      map[frame.ProcID]*procEntry
+	pending map[frame.MsgID]*storedMsg
+	// preArrivals buffers accepted messages (and preLastSent the send
+	// sequences) of processes whose creation notice has not arrived yet:
+	// on a busy system a new process's first traffic can beat the kernel's
+	// NoticeCreated to the recorder. Merged at registration; bounded.
+	preArrivals map[frame.ProcID][]storedMsg
+	preLastSent map[frame.ProcID]uint64
+
+	restartNumber uint64
+	sendSeq       uint64
+	crashed       bool
+	epoch         uint64 // invalidates timers across Crash/Restart
+
+	watch      map[frame.NodeID]*watchState
+	recovering map[frame.ProcID]*recoveryProc
+	waiters    map[uint32]func(f *frame.Frame)
+	nextCode   uint32
+
+	// §6.3 restart catch-up state.
+	catchingUp bool
+	awaitCk    map[frame.ProcID]bool
+	// noticeSeen dedups notices consumed off the wire (other recorders'
+	// deliveries; the tap sees every retransmission).
+	noticeSeen map[frame.MsgID]bool
+
+	stats Stats
+}
+
+// Reply channels on the recorder's pseudo-links.
+const (
+	chanCtlReply  = 1
+	chanQueryResp = 2
+)
+
+// New builds a recorder on the given medium and stable store, attaching
+// both its passive tap and its transport endpoint.
+func New(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log, med lan.Medium, store *stablestore.Store, tcfg transport.Config) *Recorder {
+	r := &Recorder{
+		cfg:         cfg,
+		sched:       sched,
+		rng:         rng,
+		log:         log,
+		med:         med,
+		store:       store,
+		db:          make(map[frame.ProcID]*procEntry),
+		pending:     make(map[frame.MsgID]*storedMsg),
+		preArrivals: make(map[frame.ProcID][]storedMsg),
+		preLastSent: make(map[frame.ProcID]uint64),
+		watch:       make(map[frame.NodeID]*watchState),
+		recovering:  make(map[frame.ProcID]*recoveryProc),
+		waiters:     make(map[uint32]func(*frame.Frame)),
+		noticeSeen:  make(map[frame.MsgID]bool),
+		nextCode:    1,
+	}
+	r.ep = transport.New(cfg.Node, med, sched, log, tcfg)
+	r.ep.Deliver = r.deliver
+	med.AttachTap(cfg.Node, r)
+	r.loadRestartNumber()
+	return r
+}
+
+// Stats returns the recorder counters.
+func (r *Recorder) Stats() *Stats { return &r.stats }
+
+// Store exposes the stable store (experiments inspect its stats).
+func (r *Recorder) Store() *stablestore.Store { return r.store }
+
+// Proc returns the recording software's process id.
+func (r *Recorder) Proc() frame.ProcID { return r.cfg.Proc }
+
+// RestartNumber returns the §3.4 restart counter.
+func (r *Recorder) RestartNumber() uint64 { return r.restartNumber }
+
+// Crashed reports whether the recorder is down.
+func (r *Recorder) Crashed() bool { return r.crashed }
+
+// Entry returns a copy-ish view of a process's database entry state for
+// tests and tools: (known, recovering, dead, lastSent, queued messages).
+func (r *Recorder) Entry(p frame.ProcID) (known, recovering, dead bool, lastSent uint64, queued int) {
+	e := r.db[p]
+	if e == nil {
+		return false, false, false, 0, 0
+	}
+	return true, e.Recovering, e.Dead, e.LastSent, len(e.Arrivals)
+}
+
+// Observe implements lan.Tap: the passive listener of §3.1. Its verdict is
+// the medium's publish-before-use gate.
+func (r *Recorder) Observe(f *frame.Frame) bool {
+	if r.crashed {
+		return false
+	}
+	switch f.Type {
+	case frame.Guaranteed:
+		if r.cfg.StoreFailProb > 0 && r.rng.Bool(r.cfg.StoreFailProb) {
+			r.stats.StoreFailures++
+			return false
+		}
+		r.observeMessage(f)
+	case frame.Ack:
+		r.observeAck(f)
+	}
+	return true
+}
+
+func (r *Recorder) observeMessage(f *frame.Frame) {
+	r.stats.MessagesSeen++
+	r.stats.PublishCPU += r.cfg.Mode.PerMessageCPU()
+
+	if r.cfg.EmitRecorderAcks {
+		// Transport-level publish-before-use (§6.1): receivers hold the
+		// frame until this acknowledgement. Emission waits out the publish
+		// processing time, so ModeNaive recorders visibly slow the system.
+		id := f.ID
+		epoch := r.epoch
+		r.sched.After(r.cfg.Mode.PerMessageCPU(), func() {
+			if r.epoch != epoch || r.crashed {
+				return
+			}
+			r.stats.RecorderAcksSent++
+			r.ep.SendRaw(&frame.Frame{Type: frame.RecorderAck, Dst: frame.Broadcast, ID: id})
+		})
+	}
+
+	if f.To == r.cfg.Proc {
+		return // bookkeeping traffic to the recorder itself is not a stream
+	}
+	if r.isNoticeProc(f.To) {
+		// A kernel notice addressed to another recorder: every recorder
+		// must apply it to stay consistent (§6.3: all recorders record all
+		// messages). The tap sees retransmissions, so dedup.
+		if !r.noticeSeen[f.ID] {
+			if len(r.noticeSeen) > 65536 {
+				r.noticeSeen = make(map[frame.MsgID]bool)
+			}
+			r.noticeSeen[f.ID] = true
+			if n, err := demos.DecodeNotice(f.Body); err == nil {
+				r.handleNotice(n)
+			}
+		}
+		return
+	}
+
+	// Track the highest message id each published process has sent — the
+	// future suppression threshold (§4.5).
+	if f.From.Local != 0 { // kernel processes are not replayed
+		if e := r.db[f.From]; e != nil && !e.Dead {
+			if f.ID.Seq > e.LastSent {
+				e.LastSent = f.ID.Seq
+				r.persistLastSent(e)
+			}
+		} else if e == nil {
+			if f.ID.Seq > r.preLastSent[f.From] && len(r.preLastSent) < 4096 {
+				r.preLastSent[f.From] = f.ID.Seq
+			}
+		}
+	}
+
+	if e := r.db[f.To]; e != nil {
+		if e.Dead || e.have[f.ID] {
+			return // dead destination or retransmission of an arrival
+		}
+	}
+	if _, dup := r.pending[f.ID]; dup {
+		return
+	}
+	sm := &storedMsg{
+		ID:      f.ID,
+		From:    f.From,
+		Channel: f.Channel,
+		Code:    f.Code,
+		Body:    append([]byte(nil), f.Body...),
+		Link:    f.PassedLink,
+		SeenAt:  r.sched.Now(),
+	}
+	r.pending[f.ID] = sm
+	r.stats.MessagesPending++
+}
+
+// observeAck assigns arrival order: "It is possible to discover the order
+// in which messages are received at the receiving node by tracing the
+// acknowledgements sent in response to messages" (§4.4.1).
+func (r *Recorder) observeAck(f *frame.Frame) {
+	r.stats.AcksSeen++
+	sm, ok := r.pending[f.ID]
+	if !ok {
+		return // duplicate ack, untracked message, or our own traffic
+	}
+	e := r.db[f.From] // the ack's From is the receiving process
+	if e == nil {
+		// Accepted before the destination's creation notice arrived:
+		// buffer until registration. Bounded per process.
+		delete(r.pending, f.ID)
+		if f.From.Local != 0 && f.From != r.cfg.Proc && len(r.preArrivals[f.From]) < 1024 {
+			r.preArrivals[f.From] = append(r.preArrivals[f.From], *sm)
+		}
+		return
+	}
+	if e.Dead {
+		delete(r.pending, f.ID)
+		return
+	}
+	if e.have[f.ID] {
+		delete(r.pending, f.ID)
+		return
+	}
+	delete(r.pending, f.ID)
+	sm.ArrSeq = e.ArrSeqNext
+	e.ArrSeqNext++
+	e.Arrivals = append(e.Arrivals, *sm)
+	e.have[f.ID] = true
+	r.stats.ArrivalsRecorded++
+	r.stats.BytesStored += uint64(len(sm.Body))
+	r.persistMessage(e, sm)
+	r.log.Add(trace.KindPublish, int(r.cfg.Node), e.Proc.String(), "published %s (#%d in stream)", sm.ID, sm.ArrSeq)
+}
+
+// deliver handles guaranteed traffic addressed to the recording software:
+// kernel notices, control replies, and query responses.
+func (r *Recorder) deliver(f *frame.Frame) bool {
+	if r.crashed {
+		return false
+	}
+	if f.Type == frame.Unguaranteed {
+		r.handlePong(f)
+		return true
+	}
+	if f.To != r.cfg.Proc {
+		return true // stray; accept and ignore
+	}
+	switch f.Channel {
+	case chanCtlReply, chanQueryResp:
+		if fn, ok := r.waiters[f.Code]; ok {
+			delete(r.waiters, f.Code)
+			fn(f)
+		}
+	case chanPeer:
+		r.handlePeer(f)
+	default:
+		n, err := demos.DecodeNotice(f.Body)
+		if err != nil {
+			r.log.Add(trace.KindRecorder, int(r.cfg.Node), f.From.String(), "bad notice: %v", err)
+			return true
+		}
+		r.handleNotice(n)
+	}
+	return true
+}
+
+func (r *Recorder) handleNotice(n *demos.Notice) {
+	r.stats.Notices++
+	switch n.Kind {
+	case demos.NoticeCreated:
+		e := r.db[n.Proc]
+		if e == nil {
+			e = &procEntry{Proc: n.Proc, have: make(map[frame.MsgID]bool)}
+			r.db[n.Proc] = e
+		}
+		e.Spec = n.Spec
+		e.Node = n.Proc.Node
+		e.Dead = false
+		e.LastCkAt = r.sched.Now()
+		// Merge traffic that beat this notice to the recorder.
+		if pre := r.preArrivals[n.Proc]; len(pre) > 0 {
+			for i := range pre {
+				sm := pre[i]
+				if e.have[sm.ID] {
+					continue
+				}
+				sm.ArrSeq = e.ArrSeqNext
+				e.ArrSeqNext++
+				e.Arrivals = append(e.Arrivals, sm)
+				e.have[sm.ID] = true
+				r.stats.ArrivalsRecorded++
+				r.stats.BytesStored += uint64(len(sm.Body))
+				r.persistMessage(e, &sm)
+			}
+			delete(r.preArrivals, n.Proc)
+		}
+		if ls, ok := r.preLastSent[n.Proc]; ok {
+			if ls > e.LastSent {
+				e.LastSent = ls
+				r.persistLastSent(e)
+			}
+			delete(r.preLastSent, n.Proc)
+		}
+		r.persistProcMeta(e)
+		r.log.Add(trace.KindRecorder, int(r.cfg.Node), n.Proc.String(), "registered %q", n.Spec.Name)
+
+	case demos.NoticeDestroyed:
+		delete(r.preArrivals, n.Proc)
+		delete(r.preLastSent, n.Proc)
+		if r.catchingUp {
+			delete(r.awaitCk, n.Proc)
+			r.checkCaughtUp()
+		}
+		if e := r.db[n.Proc]; e != nil {
+			e.Dead = true
+			e.Arrivals = nil
+			e.Advisories = nil
+			r.persistDead(e)
+			r.store.Invalidate(msgKey(n.Proc), e.ArrSeqNext)
+			r.store.Invalidate(advKey(n.Proc), e.AdvSeqNext)
+		}
+
+	case demos.NoticeReadOrder:
+		if e := r.db[n.Proc]; e != nil && !e.Dead {
+			adv := advisory{ReadID: n.ReadID, HeadID: n.HeadID, AdvSeq: e.AdvSeqNext}
+			e.AdvSeqNext++
+			e.Advisories = append(e.Advisories, adv)
+			r.stats.Advisories++
+			r.persistAdvisory(e, &adv)
+		}
+
+	case demos.NoticeCheckpoint:
+		complete := true
+		if e := r.db[n.Proc]; e != nil && !e.Dead {
+			complete = r.applyCheckpoint(e, n)
+		}
+		if complete {
+			// Incomplete checkpoints (queued messages we never saw) keep
+			// the catch-up phase open; the next one will be complete.
+			r.noteCatchUpProgress(n.Proc)
+		} else if r.catchingUp {
+			r.RequestCheckpoint(n.Proc)
+		}
+
+	case demos.NoticeMigrated:
+		if e := r.db[n.Proc]; e != nil && !e.Dead {
+			e.Node = n.Node
+			r.persistProcMeta(e)
+			r.broadcastRoute(n.Proc, n.Node, 3)
+			r.log.Add(trace.KindRecorder, int(r.cfg.Node), n.Proc.String(), "migrated to n%d", n.Node)
+		}
+
+	case demos.NoticeCrashed:
+		r.stats.ProcessCrashes++
+		if e := r.db[n.Proc]; e != nil && !e.Dead {
+			r.log.Add(trace.KindDetect, int(r.cfg.Node), n.Proc.String(), "process fault reported")
+			r.startRecovery(e, e.Node)
+		}
+	}
+}
+
+// applyCheckpoint installs a new checkpoint: "After the checkpoint has been
+// reliably stored, older checkpoints and messages can be discarded"
+// (§3.3.1). The replay basis becomes exactly the messages still queued at
+// the process when the checkpoint was taken (the notice lists them in
+// queue order), which stays correct even for a recorder whose stream has
+// gaps from its own downtime (§6.3 catch-up). It reports whether the
+// recorder could supply every queued message from its own records.
+func (r *Recorder) applyCheckpoint(e *procEntry, n *demos.Notice) (complete bool) {
+	byID := make(map[frame.MsgID]storedMsg, len(e.Arrivals))
+	for _, sm := range e.Arrivals {
+		byID[sm.ID] = sm
+	}
+	var retained []storedMsg
+	missing := 0
+	for _, id := range n.Queued {
+		if sm, ok := byID[id]; ok {
+			retained = append(retained, sm)
+			delete(byID, id)
+		} else {
+			missing++
+		}
+	}
+	// Everything not retained is superseded by the checkpoint.
+	trimmed := make([]storedMsg, 0, len(byID))
+	for _, sm := range byID {
+		trimmed = append(trimmed, sm)
+	}
+	e.Arrivals = retained
+	e.Advisories = nil
+	e.BaseReads = n.ReadCount
+	e.Checkpoint = n.Checkpoint
+	e.CkSendSeq = n.SendSeq
+	e.CkReadCount = n.ReadCount
+	e.CkStateKB = n.StateKB
+	e.LastCkAt = r.sched.Now()
+	// Note: trimmed ids stay in e.have so a late retransmission of an
+	// already-consumed message can never re-enter the stream.
+	r.stats.CheckpointsStored++
+	r.persistCheckpoint(e, trimmed)
+	r.log.Add(trace.KindCheckpoint, int(r.cfg.Node), e.Proc.String(),
+		"stored checkpoint (%d KB, readCount=%d); %d messages discarded, %d retained, %d missing",
+		n.StateKB, n.ReadCount, len(trimmed), len(retained), missing)
+	return missing == 0
+}
+
+// reconstruct recovers the true read order of a stream from its arrival
+// order plus the out-of-order read advisories (§4.4.2): pop in-order reads
+// until the advised head is at the front, take the advised message, repeat;
+// unadvised messages follow in arrival order.
+func reconstruct(arrivals []storedMsg, advisories []advisory) []storedMsg {
+	if len(advisories) == 0 {
+		return append([]storedMsg(nil), arrivals...)
+	}
+	queue := append([]storedMsg(nil), arrivals...)
+	replay := make([]storedMsg, 0, len(arrivals))
+	for _, adv := range advisories {
+		// In-order reads precede the advised out-of-order read.
+		for len(queue) > 0 && queue[0].ID != adv.HeadID {
+			replay = append(replay, queue[0])
+			queue = queue[1:]
+		}
+		for i := range queue {
+			if queue[i].ID == adv.ReadID {
+				replay = append(replay, queue[i])
+				queue = append(queue[:i], queue[i+1:]...)
+				break
+			}
+		}
+	}
+	return append(replay, queue...)
+}
+
+// ReplayMsg is an exported view of one published message, in replay order.
+type ReplayMsg struct {
+	ID      frame.MsgID
+	From    frame.ProcID
+	Channel uint16
+	Code    uint32
+	Body    []byte
+	Link    *frame.Link
+}
+
+// StreamMessages returns a process's published stream in reconstructed
+// read order — the debugger's input (§6.5) and the recovery replay feed.
+func (r *Recorder) StreamMessages(p frame.ProcID) []ReplayMsg {
+	e := r.db[p]
+	if e == nil {
+		return nil
+	}
+	order := reconstruct(e.Arrivals, e.Advisories)
+	out := make([]ReplayMsg, len(order))
+	for i, m := range order {
+		out[i] = ReplayMsg{ID: m.ID, From: m.From, Channel: m.Channel, Code: m.Code, Body: m.Body, Link: m.Link}
+	}
+	return out
+}
+
+// CheckpointOf returns a process's latest stored checkpoint, if any.
+func (r *Recorder) CheckpointOf(p frame.ProcID) (blob []byte, sendSeq, readCount uint64, ok bool) {
+	e := r.db[p]
+	if e == nil || e.Checkpoint == nil {
+		return nil, 0, 0, false
+	}
+	return e.Checkpoint, e.CkSendSeq, e.CkReadCount, true
+}
+
+// SpecOf returns a process's registered image spec.
+func (r *Recorder) SpecOf(p frame.ProcID) (demos.ProcSpec, bool) {
+	e := r.db[p]
+	if e == nil {
+		return demos.ProcSpec{}, false
+	}
+	return e.Spec, true
+}
+
+// LastSentOf returns the highest message id the process sent.
+func (r *Recorder) LastSentOf(p frame.ProcID) uint64 {
+	if e := r.db[p]; e != nil {
+		return e.LastSent
+	}
+	return 0
+}
+
+// StreamSummary exposes a process's reconstructed replay order (tests,
+// debugger).
+func (r *Recorder) StreamSummary(p frame.ProcID) []frame.MsgID {
+	e := r.db[p]
+	if e == nil {
+		return nil
+	}
+	order := reconstruct(e.Arrivals, e.Advisories)
+	out := make([]frame.MsgID, len(order))
+	for i, m := range order {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// sendCtl transmits a control message to a node's kernel process, with an
+// optional reply callback correlated through the pseudo reply link's code.
+func (r *Recorder) sendCtl(node frame.NodeID, to frame.ProcID, deliverToKernel bool, ctl *demos.CtlMsg, replyChan uint16, onReply func(*frame.Frame)) {
+	r.sendSeq++
+	f := &frame.Frame{
+		Type:            frame.Guaranteed,
+		Dst:             node,
+		ID:              frame.MsgID{Sender: r.cfg.Proc, Seq: r.restartNumber<<40 | r.sendSeq},
+		From:            r.cfg.Proc,
+		To:              to,
+		Channel:         demos.ChanRequest,
+		DeliverToKernel: deliverToKernel,
+		Body:            demos.EncodeCtl(ctl),
+	}
+	if onReply != nil {
+		code := r.nextCode
+		r.nextCode++
+		r.waiters[code] = onReply
+		f.PassedLink = &frame.Link{To: r.cfg.Proc, Channel: replyChan, Code: code}
+	}
+	r.ep.SendGuaranteed(f)
+}
+
+// isNoticeProc reports whether p is one of the recorder procs kernels send
+// notices to.
+func (r *Recorder) isNoticeProc(p frame.ProcID) bool {
+	for _, q := range r.cfg.NoticeProcs {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// CatchingUp reports whether the recorder is still in its §6.3 restart
+// catch-up phase (declining recovery duties).
+func (r *Recorder) CatchingUp() bool { return r.catchingUp }
+
+// RequestCheckpoint asks a process's kernel to checkpoint it now (the
+// checkpoint policy driver calls this).
+func (r *Recorder) RequestCheckpoint(p frame.ProcID) {
+	e := r.db[p]
+	if e == nil || e.Dead || e.Recovering {
+		return
+	}
+	r.sendCtl(e.Node, p, true, &demos.CtlMsg{Op: demos.OpCheckpoint}, 0, nil)
+}
+
+func mustGobR(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("recorder: gob: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func gobIntoR(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}

@@ -1,0 +1,73 @@
+package simtime
+
+import "math"
+
+// Rand is a small, fast, seedable PRNG (splitmix64 core) used everywhere the
+// simulations need randomness: exponential interarrival times in the queuing
+// model, Ethernet backoff, fault injection. We deliberately avoid math/rand's
+// global state so that independent simulation components can own independent,
+// reproducible streams.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a PRNG seeded with seed. Two Rands with the same seed
+// produce identical streams.
+func NewRand(seed uint64) *Rand {
+	// Avoid the all-zeros fixed point by mixing the seed once up front.
+	r := &Rand{state: seed}
+	r.Uint64()
+	return r
+}
+
+// Uint64 returns the next 64 pseudo-random bits (splitmix64).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("simtime: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+// This is the arrival process the paper's queuing model assumes
+// ("Assuming that failures arrive exponentially", §3.2.4; Poisson message
+// sources in §5.1).
+func (r *Rand) Exp(mean Time) Time {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := -math.Log(u) * float64(mean)
+	if d >= float64(math.MaxInt64) {
+		return Never - 1
+	}
+	return Time(d)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Fork derives an independent child stream. Children of the same parent in
+// the same order are reproducible.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64())
+}

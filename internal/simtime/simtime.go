@@ -1,0 +1,238 @@
+// Package simtime provides the deterministic discrete-event substrate on
+// which every simulation in this repository runs: a virtual clock, an event
+// scheduler, and a seedable pseudo-random source.
+//
+// The paper's testbed was real hardware (VAX 11/780s, Z8000s, a 10 Mb/s
+// Ethernet). We substitute virtual time so that every experiment is exactly
+// reproducible: two runs with the same seed produce bit-identical event
+// orders. Determinism is not just a convenience here — it is the property
+// published communications itself relies on (§1.1.1 of the paper), so the
+// substrate doubles as a statement of the model's assumptions.
+package simtime
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+// Nanoseconds give enough resolution to express the paper's parameters
+// (0.01 ms/byte, 0.8 ms/packet) without floating-point drift in the clock.
+type Time int64
+
+// Common durations, mirroring time.Duration conventions.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Minute           = 60 * Second
+
+	// Never is a sentinel for "no deadline".
+	Never Time = math.MaxInt64
+)
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds reports t as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time as milliseconds with microsecond precision,
+// the natural scale of the paper's measurements.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("%.3fms", t.Milliseconds())
+}
+
+// FromSeconds converts floating-point seconds to a Time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts floating-point milliseconds to a Time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// Event is a scheduled callback. Events with equal times fire in the order
+// they were scheduled (FIFO tie-break by sequence number), which keeps the
+// simulation deterministic without requiring callers to perturb timestamps.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when not queued
+}
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.dead }
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler owns the virtual clock and the pending event queue. It is not
+// safe for concurrent use: the entire simulation is single-threaded by
+// design (process goroutines are stepped synchronously by the kernel
+// scheduler, never run concurrently with the event loop).
+type Scheduler struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+	halted bool
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is a programming error and panics: silently reordering time would destroy
+// the causality the recorder depends on.
+func (s *Scheduler) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("simtime: event scheduled in the past: %v < %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, idx: -1}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.dead || e.idx < 0 {
+		if e != nil {
+			e.dead = true
+		}
+		return
+	}
+	e.dead = true
+	heap.Remove(&s.events, e.idx)
+	e.idx = -1
+}
+
+// Step fires the next pending event, advancing the clock to its timestamp.
+// It reports false when the queue is empty or the scheduler is halted.
+func (s *Scheduler) Step() bool {
+	if s.halted {
+		return false
+	}
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue drains or the clock passes limit.
+// It returns the number of events fired.
+func (s *Scheduler) Run(limit Time) uint64 {
+	start := s.fired
+	for !s.halted && len(s.events) > 0 {
+		if next := s.events[0].at; next > limit {
+			// Leave future events queued; advance the clock to the limit so
+			// utilization windows close at a well-defined instant.
+			s.now = limit
+			break
+		}
+		s.Step()
+	}
+	if len(s.events) == 0 && s.now < limit {
+		s.now = limit
+	}
+	return s.fired - start
+}
+
+// RunAll fires events until none remain. A safety cap guards against
+// runaway self-rescheduling loops; exceeding it panics, since an unbounded
+// simulation indicates a bug, not load.
+func (s *Scheduler) RunAll(maxEvents uint64) uint64 {
+	start := s.fired
+	for !s.halted && len(s.events) > 0 {
+		if s.fired-start >= maxEvents {
+			panic(fmt.Sprintf("simtime: exceeded %d events; runaway simulation", maxEvents))
+		}
+		s.Step()
+	}
+	return s.fired - start
+}
+
+// Halt stops Run/RunAll after the current event returns.
+func (s *Scheduler) Halt() { s.halted = true }
+
+// Halted reports whether Halt was called.
+func (s *Scheduler) Halted() bool { return s.halted }
+
+// Resume clears a halt.
+func (s *Scheduler) Resume() { s.halted = false }
+
+// Pending returns the number of queued (uncancelled) events.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// NextAt returns the time of the next pending event, or Never.
+func (s *Scheduler) NextAt() Time {
+	if len(s.events) == 0 {
+		return Never
+	}
+	return s.events[0].at
+}

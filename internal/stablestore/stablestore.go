@@ -1,0 +1,468 @@
+// Package stablestore implements the recorder's reliable non-volatile
+// storage (§3.3.1, §4.5): an append-oriented paged store for published
+// messages and checkpoints with the exact disk discipline the thesis
+// describes — "As messages are received they are timestamped and buffered
+// ... When the buffer is full it is written to disk. Before allocating a
+// buffer to a disk page, the disk page is read in. Any messages that are no
+// longer valid are removed and the buffer is compacted."
+//
+// Two backends exist: an in-memory Store (the default for simulations,
+// modelling a disk that survives recorder crashes, which the simulation
+// injects by discarding only the recorder's volatile state) and a
+// file-backed Store for the cmd/starhub real-network mode. Both expose the
+// same page/record API and both support rebuilding the recorder's process
+// database purely from stored pages ("If the recorder crashes, it is
+// possible to rebuild the data base from the disk", §4.5).
+package stablestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// PageSize is the disk page / write buffer size. §5.1 removes the disk
+// saturation "by allowing messages to be written out in 4k byte buffers
+// rather than forcing one disk write per message".
+const PageSize = 4096
+
+// RecordKind tags stored records.
+type RecordKind uint8
+
+const (
+	// KindMessage is a published message.
+	KindMessage RecordKind = iota + 1
+	// KindCheckpoint is a process checkpoint.
+	KindCheckpoint
+	// KindMeta is recorder metadata (restart counter, process notes).
+	KindMeta
+)
+
+// Record is one stored item.
+type Record struct {
+	Kind RecordKind
+	// Key groups records (by convention the process id string).
+	Key string
+	// Seq orders records within a key.
+	Seq uint64
+	// Data is the payload.
+	Data []byte
+}
+
+// encodedLen returns the on-page size of the record.
+func (r *Record) encodedLen() int {
+	return 1 + 2 + len(r.Key) + 8 + 4 + len(r.Data)
+}
+
+func (r *Record) encode(buf *bytes.Buffer) {
+	buf.WriteByte(byte(r.Kind))
+	var tmp [8]byte
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(r.Key)))
+	buf.Write(tmp[:2])
+	buf.WriteString(r.Key)
+	binary.BigEndian.PutUint64(tmp[:8], r.Seq)
+	buf.Write(tmp[:8])
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
+	buf.Write(tmp[:4])
+	buf.Write(r.Data)
+}
+
+var errCorruptPage = errors.New("stablestore: corrupt page")
+
+func decodeRecords(b []byte) ([]Record, error) {
+	var out []Record
+	for len(b) > 0 {
+		if b[0] == 0 {
+			break // zero padding: end of page
+		}
+		if len(b) < 3 {
+			return nil, errCorruptPage
+		}
+		kind := RecordKind(b[0])
+		kl := int(binary.BigEndian.Uint16(b[1:3]))
+		b = b[3:]
+		if len(b) < kl+12 {
+			return nil, errCorruptPage
+		}
+		key := string(b[:kl])
+		seq := binary.BigEndian.Uint64(b[kl : kl+8])
+		dl := int(binary.BigEndian.Uint32(b[kl+8 : kl+12]))
+		b = b[kl+12:]
+		if len(b) < dl {
+			return nil, errCorruptPage
+		}
+		data := append([]byte(nil), b[:dl]...)
+		b = b[dl:]
+		out = append(out, Record{Kind: kind, Key: key, Seq: seq, Data: data})
+	}
+	return out, nil
+}
+
+// Stats counts store activity, feeding the recorder-disk utilization model.
+type Stats struct {
+	Appends    uint64
+	PageWrites uint64
+	PageReads  uint64
+	Compacted  uint64 // records dropped by compaction
+	BytesLive  uint64
+}
+
+// Store is the paged stable store. It is safe for concurrent use (the
+// starhub server runs it from multiple connections); simulations call it
+// single-threaded.
+type Store struct {
+	mu    sync.Mutex
+	pages map[uint64][]byte // pageID -> encoded page (PageSize)
+	next  uint64
+	// buf is the current write buffer (an unflushed page).
+	buf     bytes.Buffer
+	bufPage uint64
+	// invalid marks (key, seq<=) pairs whose message records may be dropped
+	// at the next compaction of their page.
+	invalid map[string]uint64
+	// invalidSeqs marks individual (key, seq) records as garbage — needed
+	// because channel reads can consume messages out of arrival order, so a
+	// checkpoint may invalidate a non-prefix subset of a stream.
+	invalidSeqs map[string]map[uint64]bool
+	// chains maps the first page of an oversized record (checkpoints) to
+	// its continuation pages.
+	chains map[uint64][]uint64
+	stats  Stats
+
+	// file backing, optional.
+	f *os.File
+}
+
+// New returns an in-memory store.
+func New() *Store {
+	return &Store{pages: make(map[uint64][]byte), invalid: make(map[string]uint64)}
+}
+
+// Open returns a file-backed store, loading any existing pages from path.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := New()
+	s.f = f
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	n := info.Size() / PageSize
+	for i := int64(0); i < n; i++ {
+		page := make([]byte, PageSize)
+		if _, err := f.ReadAt(page, i*PageSize); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.pages[uint64(i)] = page
+	}
+	s.next = uint64(n)
+	return s, nil
+}
+
+// Close releases the file backing, if any.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if s.f != nil {
+		err := s.f.Close()
+		s.f = nil
+		return err
+	}
+	return nil
+}
+
+// Stats returns a copy of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Append stores a record, returning the page it lands on. Records larger
+// than a page are split across dedicated pages transparently on read; for
+// simplicity here they get a page of their own (checkpoints are the only
+// large records).
+func (s *Store) Append(r Record) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Appends++
+	s.stats.BytesLive += uint64(len(r.Data))
+
+	if r.encodedLen() > PageSize {
+		// Oversized record: dedicated page sequence.
+		var big bytes.Buffer
+		r.encode(&big)
+		first := uint64(0)
+		data := big.Bytes()
+		for i := 0; i < len(data); i += PageSize {
+			end := i + PageSize
+			if end > len(data) {
+				end = len(data)
+			}
+			page := make([]byte, PageSize)
+			copy(page, data[i:end])
+			id := s.allocLocked()
+			if i == 0 {
+				first = id
+			}
+			// Oversized pages are marked by a continuation map entry.
+			s.pages[id] = page
+			s.oversize(first, id)
+			if err := s.writePageLocked(id); err != nil {
+				return 0, err
+			}
+		}
+		return first, nil
+	}
+
+	if s.buf.Len()+r.encodedLen() > PageSize {
+		if err := s.flushLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if s.buf.Len() == 0 {
+		s.bufPage = s.allocLocked()
+	}
+	r.encode(&s.buf)
+	return s.bufPage, nil
+}
+
+func (s *Store) oversize(first, page uint64) {
+	if s.chains == nil {
+		s.chains = make(map[uint64][]uint64)
+	}
+	if page != first {
+		s.chains[first] = append(s.chains[first], page)
+	} else if _, ok := s.chains[first]; !ok {
+		s.chains[first] = nil
+	}
+}
+
+// Flush forces the current write buffer to disk. The recorder calls it
+// before acknowledging a message (§3.3.4: the acknowledgement "is given
+// only after the message has been reliably stored") — or batches it, which
+// is the 4 KB-buffer optimization of §5.1.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	if s.buf.Len() == 0 {
+		return nil
+	}
+	page := make([]byte, PageSize)
+	copy(page, s.buf.Bytes())
+	s.pages[s.bufPage] = page
+	s.buf.Reset()
+	return s.writePageLocked(s.bufPage)
+}
+
+func (s *Store) writePageLocked(id uint64) error {
+	s.stats.PageWrites++
+	if s.f == nil {
+		return nil
+	}
+	if _, err := s.f.WriteAt(s.pages[id], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("stablestore: write page %d: %w", id, err)
+	}
+	return nil
+}
+
+func (s *Store) allocLocked() uint64 {
+	id := s.next
+	s.next++
+	return id
+}
+
+// Invalidate marks message records of key with seq <= through as garbage;
+// compaction reclaims them lazily ("Any messages that are no longer valid
+// are removed and the buffer is compacted", §4.5). The recorder calls this
+// after a checkpoint supersedes old messages (§3.3.1).
+func (s *Store) Invalidate(key string, through uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cur, ok := s.invalid[key]; !ok || through > cur {
+		s.invalid[key] = through
+	}
+}
+
+// InvalidateSeqs marks specific (key, seq) message records as garbage.
+func (s *Store) InvalidateSeqs(key string, seqs []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.invalidSeqs == nil {
+		s.invalidSeqs = make(map[string]map[uint64]bool)
+	}
+	set := s.invalidSeqs[key]
+	if set == nil {
+		set = make(map[uint64]bool)
+		s.invalidSeqs[key] = set
+	}
+	for _, q := range seqs {
+		set[q] = true
+	}
+}
+
+// dead reports whether a message record is invalidated.
+func (s *Store) dead(r *Record) bool {
+	if r.Kind != KindMessage {
+		return false
+	}
+	if through, ok := s.invalid[r.Key]; ok && r.Seq <= through {
+		return true
+	}
+	return s.invalidSeqs[r.Key][r.Seq]
+}
+
+// Compact rewrites every full page, dropping invalidated message records.
+// It returns the number of records dropped.
+func (s *Store) Compact() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return 0, err
+	}
+	dropped := 0
+	for id, page := range s.pages {
+		if s.isChainPage(id) {
+			continue
+		}
+		recs, err := decodeRecords(page)
+		if err != nil {
+			return dropped, err
+		}
+		var keep []Record
+		changed := false
+		for _, r := range recs {
+			r := r
+			if s.dead(&r) {
+				dropped++
+				changed = true
+				s.stats.Compacted++
+				if s.stats.BytesLive >= uint64(len(r.Data)) {
+					s.stats.BytesLive -= uint64(len(r.Data))
+				}
+				continue
+			}
+			keep = append(keep, r)
+		}
+		if !changed {
+			continue
+		}
+		var buf bytes.Buffer
+		for _, r := range keep {
+			r.encode(&buf)
+		}
+		newPage := make([]byte, PageSize)
+		copy(newPage, buf.Bytes())
+		s.pages[id] = newPage
+		if err := s.writePageLocked(id); err != nil {
+			return dropped, err
+		}
+	}
+	return dropped, nil
+}
+
+func (s *Store) isChainPage(id uint64) bool {
+	for first, rest := range s.chains {
+		if id == first {
+			return true
+		}
+		for _, p := range rest {
+			if id == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReadAll returns every live record, ordered by (key, seq, insertion). The
+// recorder uses it to rebuild its database after a crash (§3.3.4, §4.5).
+func (s *Store) ReadAll() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return nil, err
+	}
+	var out []Record
+
+	// Regular pages, in page order (which is insertion order).
+	ids := make([]uint64, 0, len(s.pages))
+	for id := range s.pages {
+		if !s.isChainPage(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		s.stats.PageReads++
+		recs, err := decodeRecords(s.pages[id])
+		if err != nil {
+			return nil, fmt.Errorf("page %d: %w", id, err)
+		}
+		out = append(out, recs...)
+	}
+
+	// Oversized chains.
+	firsts := make([]uint64, 0, len(s.chains))
+	for f := range s.chains {
+		firsts = append(firsts, f)
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	for _, f := range firsts {
+		var whole bytes.Buffer
+		whole.Write(s.pages[f])
+		for _, p := range s.chains[f] {
+			whole.Write(s.pages[p])
+		}
+		s.stats.PageReads += uint64(1 + len(s.chains[f]))
+		recs, err := decodeRecords(whole.Bytes())
+		if err != nil {
+			return nil, fmt.Errorf("chain %d: %w", f, err)
+		}
+		out = append(out, recs...)
+	}
+	return out, nil
+}
+
+// ReadKey returns the live records for one key in seq order.
+func (s *Store) ReadKey(key string) ([]Record, error) {
+	all, err := s.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, r := range all {
+		if r.Key == key {
+			out = append(out, r)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// Pages returns the number of allocated pages (storage footprint).
+func (s *Store) Pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.pages)
+	if s.buf.Len() > 0 {
+		n++
+	}
+	return n
+}

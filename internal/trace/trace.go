@@ -1,0 +1,188 @@
+// Package trace records structured simulation events. The paper's
+// implementation used Bart Miller's metering system to obtain the DEMOS/MP
+// measurements (Acknowledgements, Ch. 5); this package plays the same role:
+// a low-overhead event log that experiments and tests can filter and assert
+// against, and that the demosnet CLI can stream to the terminal.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"publishing/internal/simtime"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+const (
+	KindSend Kind = iota
+	KindDeliver
+	KindAck
+	KindPublish
+	KindCheckpoint
+	KindCrash
+	KindDetect
+	KindRecoveryStart
+	KindReplay
+	KindRecoveryDone
+	KindDrop
+	KindSuppress
+	KindCollision
+	KindSchedule
+	KindControl
+	KindRecorder
+	KindOther
+)
+
+var kindNames = [...]string{
+	"send", "deliver", "ack", "publish", "checkpoint", "crash", "detect",
+	"recovery-start", "replay", "recovery-done", "drop", "suppress",
+	"collision", "schedule", "control", "recorder", "other",
+}
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	At   simtime.Time
+	Kind Kind
+	// Node is the node id the event happened on, or -1 for medium-level
+	// events with no single node.
+	Node int
+	// Subject identifies the process/message involved, free-form.
+	Subject string
+	// Detail is a human-readable explanation.
+	Detail string
+}
+
+// String formats the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%12s node=%-2d %-14s %-22s %s", e.At, e.Node, e.Kind, e.Subject, e.Detail)
+}
+
+// Log collects events. The zero value is ready to use and records nothing
+// until enabled; a nil *Log is also safe everywhere, so simulation code can
+// trace unconditionally.
+type Log struct {
+	enabled bool
+	events  []Event
+	sink    io.Writer
+	clock   func() simtime.Time
+	// filter, when non-nil, drops events for which it returns false.
+	filter func(Event) bool
+}
+
+// New returns an enabled log reading timestamps from clock.
+func New(clock func() simtime.Time) *Log {
+	return &Log{enabled: true, clock: clock}
+}
+
+// SetSink mirrors every recorded event to w as it happens.
+func (l *Log) SetSink(w io.Writer) {
+	if l != nil {
+		l.sink = w
+	}
+}
+
+// SetFilter installs a predicate; events failing it are not recorded.
+func (l *Log) SetFilter(f func(Event) bool) {
+	if l != nil {
+		l.filter = f
+	}
+}
+
+// Enable turns recording on or off.
+func (l *Log) Enable(on bool) {
+	if l != nil {
+		l.enabled = on
+	}
+}
+
+// Add records an event.
+func (l *Log) Add(kind Kind, node int, subject, format string, args ...any) {
+	if l == nil || !l.enabled {
+		return
+	}
+	e := Event{Kind: kind, Node: node, Subject: subject, Detail: fmt.Sprintf(format, args...)}
+	if l.clock != nil {
+		e.At = l.clock()
+	}
+	if l.filter != nil && !l.filter(e) {
+		return
+	}
+	l.events = append(l.events, e)
+	if l.sink != nil {
+		fmt.Fprintln(l.sink, e)
+	}
+}
+
+// Events returns all recorded events.
+func (l *Log) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	return l.events
+}
+
+// OfKind returns the recorded events of one kind.
+func (l *Log) OfKind(k Kind) []Event {
+	if l == nil {
+		return nil
+	}
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Count returns how many events of kind k were recorded.
+func (l *Log) Count(k Kind) int { return len(l.OfKind(k)) }
+
+// CountSubject returns how many events of kind k mention subject.
+func (l *Log) CountSubject(k Kind, subject string) int {
+	n := 0
+	for _, e := range l.OfKind(k) {
+		if e.Subject == subject {
+			n++
+		}
+	}
+	return n
+}
+
+// Contains reports whether any event of kind k has a detail containing s.
+func (l *Log) Contains(k Kind, s string) bool {
+	for _, e := range l.OfKind(k) {
+		if strings.Contains(e.Detail, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Reset discards recorded events.
+func (l *Log) Reset() {
+	if l != nil {
+		l.events = nil
+	}
+}
+
+// Dump writes every recorded event to w.
+func (l *Log) Dump(w io.Writer) {
+	if l == nil {
+		return
+	}
+	for _, e := range l.events {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"publishing/internal/simtime"
+)
+
+func TestNilLogIsSafe(t *testing.T) {
+	var l *Log
+	l.Add(KindSend, 1, "x", "anything %d", 42)
+	l.Enable(true)
+	l.SetSink(&bytes.Buffer{})
+	l.SetFilter(func(Event) bool { return true })
+	l.Reset()
+	l.Dump(&bytes.Buffer{})
+	if l.Events() != nil || l.OfKind(KindSend) != nil || l.Count(KindSend) != 0 {
+		t.Fatal("nil log leaked data")
+	}
+}
+
+func TestRecordAndQuery(t *testing.T) {
+	now := simtime.Time(0)
+	l := New(func() simtime.Time { return now })
+	l.Add(KindSend, 0, "p0.1", "first")
+	now = 5 * simtime.Millisecond
+	l.Add(KindCrash, 1, "p1.2", "boom %d", 7)
+	l.Add(KindSend, 0, "p0.1", "second")
+
+	if len(l.Events()) != 3 {
+		t.Fatalf("events = %d", len(l.Events()))
+	}
+	if l.Count(KindSend) != 2 || l.Count(KindCrash) != 1 || l.Count(KindDetect) != 0 {
+		t.Fatal("counts wrong")
+	}
+	if l.CountSubject(KindSend, "p0.1") != 2 || l.CountSubject(KindSend, "zzz") != 0 {
+		t.Fatal("subject counts wrong")
+	}
+	if !l.Contains(KindCrash, "boom 7") || l.Contains(KindCrash, "nope") {
+		t.Fatal("Contains wrong")
+	}
+	if l.Events()[1].At != 5*simtime.Millisecond {
+		t.Fatal("timestamp not taken from clock")
+	}
+}
+
+func TestEnableDisable(t *testing.T) {
+	l := New(nil)
+	l.Enable(false)
+	l.Add(KindSend, 0, "s", "hidden")
+	if len(l.Events()) != 0 {
+		t.Fatal("disabled log recorded")
+	}
+	l.Enable(true)
+	l.Add(KindSend, 0, "s", "visible")
+	if len(l.Events()) != 1 {
+		t.Fatal("enabled log did not record")
+	}
+}
+
+func TestFilterAndSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(nil)
+	l.SetSink(&buf)
+	l.SetFilter(func(e Event) bool { return e.Kind == KindCrash })
+	l.Add(KindSend, 0, "s", "dropped")
+	l.Add(KindCrash, 2, "p2.1", "kept")
+	if len(l.Events()) != 1 {
+		t.Fatalf("filter kept %d events", len(l.Events()))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "kept") || strings.Contains(out, "dropped") {
+		t.Fatalf("sink output: %q", out)
+	}
+}
+
+func TestResetAndDump(t *testing.T) {
+	l := New(nil)
+	l.Add(KindReplay, 3, "p3.1", "one")
+	l.Add(KindReplay, 3, "p3.1", "two")
+	var buf bytes.Buffer
+	l.Dump(&buf)
+	if strings.Count(buf.String(), "\n") != 2 {
+		t.Fatalf("dump: %q", buf.String())
+	}
+	l.Reset()
+	if len(l.Events()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	names := map[Kind]string{
+		KindSend: "send", KindDeliver: "deliver", KindAck: "ack",
+		KindPublish: "publish", KindCheckpoint: "checkpoint", KindCrash: "crash",
+		KindDetect: "detect", KindRecoveryStart: "recovery-start",
+		KindReplay: "replay", KindRecoveryDone: "recovery-done",
+		KindDrop: "drop", KindSuppress: "suppress", KindCollision: "collision",
+		KindSchedule: "schedule", KindControl: "control", KindRecorder: "recorder",
+		KindOther: "other",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d) = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+	e := Event{Kind: KindSend, Node: 2, Subject: "p2.9", Detail: "hello"}
+	if s := e.String(); !strings.Contains(s, "send") || !strings.Contains(s, "p2.9") {
+		t.Errorf("Event.String = %q", s)
+	}
+}

@@ -1,0 +1,618 @@
+// Package transport implements the paper's transport layer (§4.3.3). If
+// neither sender nor receiver crashes and network failures are temporary, it
+// guarantees that messages are not duplicated, that all guaranteed messages
+// arrive at the receiver's processor, and that messages from one process to
+// another arrive in the order sent.
+//
+// Mechanisms, all from the paper:
+//
+//   - Guaranteed messages use an end-to-end acknowledgement: the originating
+//     processor periodically resends a message until the destination
+//     processor acknowledges it.
+//   - Each message carries a unique id (sender process id + send sequence);
+//     each processor keeps a cache of recently received ids and discards
+//     duplicates caused by resends.
+//   - Ordering is preserved by allowing "only one unacknowledged message to
+//     be in transit from each processor" (§4.3.3). The paper notes this is
+//     inefficient under load and anticipates a windowing scheme; Config.
+//     Window > 1 enables that extension (per-destination sliding windows).
+//   - Unguaranteed messages are fire-and-forget.
+//
+// When Config.NeedRecorderAck is set (plain Ethernet without hardware ack
+// slots), the endpoint enforces publish-before-use at the transport level
+// (§6.1): a received guaranteed frame is held until a RecorderAck frame for
+// its id is heard; otherwise it is discarded and the sender's retransmission
+// tries again.
+package transport
+
+import (
+	"fmt"
+
+	"publishing/internal/frame"
+	"publishing/internal/lan"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// Config tunes an endpoint.
+type Config struct {
+	// RetransmitInterval is how long to wait for an end-to-end ack before
+	// resending a guaranteed frame.
+	RetransmitInterval simtime.Time
+	// MaxRetries bounds resends of one frame; 0 means retry forever. The
+	// default is generous: a message outlives the recovery of its receiver.
+	MaxRetries int
+	// DupCacheSize is the number of recently received message ids remembered
+	// for duplicate suppression. The paper sizes it so an id's lifetime is
+	// "many times greater than the time for a message to follow the longest
+	// path through the network".
+	DupCacheSize int
+	// Window is the number of unacknowledged guaranteed frames allowed in
+	// transit from this processor. 1 reproduces the thesis implementation;
+	// >1 is the windowing extension it anticipates (per destination).
+	Window int
+	// NeedRecorderAck holds received guaranteed frames until the recorder
+	// acknowledges them (publish-before-use on media that cannot gate).
+	NeedRecorderAck bool
+	// RecorderAckTimeout discards a held frame if no recorder ack arrives,
+	// letting the sender's retransmission drive another attempt.
+	RecorderAckTimeout simtime.Time
+}
+
+// DefaultConfig returns sensible simulation defaults.
+func DefaultConfig() Config {
+	return Config{
+		RetransmitInterval: 50 * simtime.Millisecond,
+		MaxRetries:         200,
+		DupCacheSize:       4096,
+		Window:             1,
+		RecorderAckTimeout: 40 * simtime.Millisecond,
+	}
+}
+
+// Stats counts endpoint activity.
+type Stats struct {
+	GuaranteedSent   uint64
+	UnguaranteedSent uint64
+	Retransmits      uint64
+	AcksSent         uint64
+	AcksReceived     uint64
+	Delivered        uint64
+	DupsSuppressed   uint64
+	RecorderHeld     uint64
+	RecorderExpired  uint64
+	GaveUp           uint64
+}
+
+func (s *Stats) String() string {
+	return fmt.Sprintf("gsent=%d usent=%d rexmit=%d acks=%d/%d delivered=%d dups=%d held=%d expired=%d gaveup=%d",
+		s.GuaranteedSent, s.UnguaranteedSent, s.Retransmits, s.AcksSent, s.AcksReceived,
+		s.Delivered, s.DupsSuppressed, s.RecorderHeld, s.RecorderExpired, s.GaveUp)
+}
+
+// Endpoint is one processor's transport. It implements lan.Station.
+type Endpoint struct {
+	node  frame.NodeID
+	med   lan.Medium
+	sched *simtime.Scheduler
+	log   *trace.Log
+	cfg   Config
+
+	// Deliver is the upcall into the node kernel for each message accepted
+	// end-to-end (deduplicated, recorder-acked if required, in order). The
+	// kernel returns false to refuse the message — e.g. its destination
+	// process is crashed or still recovering (§3.3.3) — in which case no
+	// acknowledgement is sent and the sender's retransmission will offer the
+	// message again later. Refused frames do not advance the stream.
+	Deliver func(f *frame.Frame) bool
+
+	// OnAck, if set, is called for every end-to-end ack this endpoint
+	// receives for its own guaranteed frames (used by measurement hooks).
+	OnAck func(id frame.MsgID)
+
+	// OnGiveUp, if set, is called when retry exhaustion abandons a frame;
+	// the kernel uses it to re-route traffic whose destination moved.
+	OnGiveUp func(f *frame.Frame)
+
+	// epoch invalidates scheduled timers across Reset (processor crash).
+	epoch uint64
+
+	// sendq holds guaranteed frames not yet admitted to the wire, FIFO.
+	sendq []*frame.Frame
+	// inflight maps outstanding unacked frames to their retry state.
+	inflight map[frame.MsgID]*flight
+	// perDest counts outstanding frames per destination (window > 1).
+	perDest map[frame.NodeID]int
+
+	// xseq numbers outgoing guaranteed frames per destination.
+	xseq map[frame.NodeID]uint64
+
+	dup *dupCache
+
+	// held are received guaranteed frames awaiting a recorder ack.
+	held map[frame.MsgID]*heldFrame
+
+	// rx holds per-sender in-order reassembly state (windowing extension).
+	rx map[frame.NodeID]*rxStream
+
+	stats Stats
+}
+
+// rxStream reassembles one sender's guaranteed-frame stream in order.
+type rxStream struct {
+	epoch    uint16
+	synced   bool
+	expected uint64
+	buf      map[uint64]*frame.Frame
+}
+
+// XSeq field layout (see frame.Frame.XSeq).
+const xseqSeqMask = uint64(1)<<48 - 1
+
+func xseqEpoch(x uint64) uint16 { return uint16(x >> 48) }
+func xseqSeq(x uint64) uint64   { return x & xseqSeqMask }
+
+type flight struct {
+	f        *frame.Frame
+	attempts int
+	timer    *simtime.Event
+}
+
+type heldFrame struct {
+	f     *frame.Frame
+	timer *simtime.Event
+}
+
+// New creates an endpoint for node and attaches it to the medium.
+func New(node frame.NodeID, med lan.Medium, sched *simtime.Scheduler, log *trace.Log, cfg Config) *Endpoint {
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.DupCacheSize <= 0 {
+		cfg.DupCacheSize = 4096
+	}
+	e := &Endpoint{
+		node:     node,
+		med:      med,
+		sched:    sched,
+		log:      log,
+		cfg:      cfg,
+		inflight: make(map[frame.MsgID]*flight),
+		perDest:  make(map[frame.NodeID]int),
+		xseq:     make(map[frame.NodeID]uint64),
+		dup:      newDupCache(cfg.DupCacheSize),
+		held:     make(map[frame.MsgID]*heldFrame),
+		rx:       make(map[frame.NodeID]*rxStream),
+	}
+	med.Attach(node, e)
+	return e
+}
+
+// Node returns the endpoint's node id.
+func (e *Endpoint) Node() frame.NodeID { return e.node }
+
+// Stats returns the endpoint counters.
+func (e *Endpoint) Stats() *Stats { return &e.stats }
+
+// Config returns the endpoint configuration.
+func (e *Endpoint) Config() Config { return e.cfg }
+
+// Reset models a processor crash and reboot: all transport state — queued
+// and unacknowledged frames, the duplicate cache, held frames — is volatile
+// and lost (§3.3.2 rounds a kernel fault up to a whole-processor crash).
+func (e *Endpoint) Reset() {
+	e.epoch++
+	for _, fl := range e.inflight {
+		e.sched.Cancel(fl.timer)
+	}
+	for _, h := range e.held {
+		e.sched.Cancel(h.timer)
+	}
+	e.sendq = nil
+	e.inflight = make(map[frame.MsgID]*flight)
+	e.perDest = make(map[frame.NodeID]int)
+	e.xseq = make(map[frame.NodeID]uint64)
+	e.dup = newDupCache(e.cfg.DupCacheSize)
+	e.held = make(map[frame.MsgID]*heldFrame)
+	e.rx = make(map[frame.NodeID]*rxStream)
+}
+
+// SendGuaranteed queues a guaranteed frame for reliable delivery. The frame
+// must carry a unique ID and a concrete destination node.
+func (e *Endpoint) SendGuaranteed(f *frame.Frame) {
+	if f.ID.IsNil() {
+		panic("transport: guaranteed frame without message id")
+	}
+	if f.Dst == frame.Broadcast {
+		panic("transport: guaranteed frames must be addressed to one node")
+	}
+	f = f.Clone()
+	f.Type = frame.Guaranteed
+	f.Src = e.node
+	e.stats.GuaranteedSent++
+	e.sendq = append(e.sendq, f)
+	e.pump()
+}
+
+// SendUnguaranteed transmits a frame with no delivery guarantee: dated or
+// statistical information whose retransmission would be pointless (§4.3.3).
+func (e *Endpoint) SendUnguaranteed(f *frame.Frame) {
+	f = f.Clone()
+	f.Type = frame.Unguaranteed
+	f.Src = e.node
+	e.stats.UnguaranteedSent++
+	e.med.Send(e.node, f)
+}
+
+// SendRaw transmits a frame verbatim (used by the recorder to emit
+// RecorderAck frames and by tests).
+func (e *Endpoint) SendRaw(f *frame.Frame) {
+	f = f.Clone()
+	f.Src = e.node
+	e.med.Send(e.node, f)
+}
+
+// InFlight reports the number of guaranteed frames not yet acknowledged,
+// including frames still queued behind the window.
+func (e *Endpoint) InFlight() int { return len(e.inflight) + len(e.sendq) }
+
+// InFlightIDs returns the ids of frames transmitted and awaiting their
+// end-to-end acknowledgement (excludes frames still queued).
+func (e *Endpoint) InFlightIDs() []frame.MsgID {
+	ids := make([]frame.MsgID, 0, len(e.inflight))
+	for id := range e.inflight {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// pump admits queued frames to the wire subject to the window discipline.
+func (e *Endpoint) pump() {
+	for len(e.sendq) > 0 {
+		f := e.sendq[0]
+		if e.cfg.Window == 1 {
+			// Thesis mode: one unacknowledged message per processor, total.
+			if len(e.inflight) >= 1 {
+				return
+			}
+		} else {
+			if e.perDest[f.Dst] >= e.cfg.Window {
+				// Head-of-line blocked per destination; strict FIFO keeps
+				// cross-destination order too, which publishing's read-order
+				// accounting relies on.
+				return
+			}
+		}
+		e.sendq = e.sendq[1:]
+		seq := e.xseq[f.Dst]
+		e.xseq[f.Dst] = seq + 1
+		f.XSeq = uint64(e.epoch&0xffff)<<48 | (seq & xseqSeqMask)
+		fl := &flight{f: f}
+		e.inflight[f.ID] = fl
+		e.perDest[f.Dst]++
+		e.transmit(fl)
+	}
+}
+
+func (e *Endpoint) transmit(fl *flight) {
+	fl.attempts++
+	// Stamp the stream low-water mark: the lowest sequence still
+	// unacknowledged toward this destination. Receivers sync on it.
+	low := xseqSeq(fl.f.XSeq)
+	for _, g := range e.inflight {
+		if g.f.Dst == fl.f.Dst {
+			if s := xseqSeq(g.f.XSeq); s < low {
+				low = s
+			}
+		}
+	}
+	fl.f.XLow = uint64(e.epoch&0xffff)<<48 | low
+	e.med.Send(e.node, fl.f)
+	epoch := e.epoch
+	fl.timer = e.sched.After(e.cfg.RetransmitInterval, func() {
+		if e.epoch != epoch {
+			return
+		}
+		e.retransmit(fl)
+	})
+}
+
+func (e *Endpoint) retransmit(fl *flight) {
+	if _, ok := e.inflight[fl.f.ID]; !ok {
+		return // acked in the meantime
+	}
+	if e.cfg.MaxRetries > 0 && fl.attempts >= e.cfg.MaxRetries {
+		// Give up; the crash-detection machinery owns this situation now.
+		e.stats.GaveUp++
+		e.log.Add(trace.KindDrop, int(e.node), fl.f.ID.String(),
+			"gave up after %d attempts", fl.attempts)
+		e.finish(fl.f)
+		if e.OnGiveUp != nil {
+			e.OnGiveUp(fl.f)
+		}
+		return
+	}
+	e.stats.Retransmits++
+	e.log.Add(trace.KindSend, int(e.node), fl.f.ID.String(), "retransmit #%d", fl.attempts)
+	e.transmit(fl)
+}
+
+// finish removes a frame from the in-flight set and admits the next.
+func (e *Endpoint) finish(f *frame.Frame) {
+	fl, ok := e.inflight[f.ID]
+	if !ok {
+		return
+	}
+	e.sched.Cancel(fl.timer)
+	delete(e.inflight, f.ID)
+	if e.perDest[f.Dst] > 0 {
+		e.perDest[f.Dst]--
+	}
+	e.pump()
+}
+
+// Receive implements lan.Station.
+func (e *Endpoint) Receive(f *frame.Frame) {
+	switch f.Type {
+	case frame.Ack:
+		e.handleAck(f)
+	case frame.RecorderAck:
+		e.handleRecorderAck(f)
+	case frame.Guaranteed:
+		e.handleGuaranteed(f)
+	case frame.Unguaranteed:
+		if e.Deliver != nil {
+			e.stats.Delivered++
+			e.Deliver(f)
+		}
+	}
+}
+
+// deliverUp completes delivery of one in-order guaranteed frame. A refusal
+// by the kernel leaves the frame unacknowledged and the stream position
+// unchanged; the sender's retransmission re-offers it.
+func (e *Endpoint) deliverUp(f *frame.Frame) bool {
+	if e.Deliver != nil && !e.Deliver(f) {
+		return false
+	}
+	e.dup.add(f.ID)
+	e.stats.Delivered++
+	e.ack(f)
+	return true
+}
+
+func (e *Endpoint) handleAck(f *frame.Frame) {
+	if f.Dst != e.node {
+		return
+	}
+	if _, ok := e.inflight[f.ID]; !ok {
+		return // duplicate ack
+	}
+	e.stats.AcksReceived++
+	if e.OnAck != nil {
+		e.OnAck(f.ID)
+	}
+	fl := e.inflight[f.ID]
+	e.finish(fl.f)
+}
+
+func (e *Endpoint) handleGuaranteed(f *frame.Frame) {
+	if f.Dst != e.node && f.Dst != frame.Broadcast {
+		return
+	}
+	if e.cfg.NeedRecorderAck {
+		if _, dup := e.held[f.ID]; dup {
+			return // already holding a copy
+		}
+		if e.dup.contains(f.ID) {
+			// Already accepted earlier; the ack was lost. Re-ack.
+			e.ack(f)
+			e.stats.DupsSuppressed++
+			return
+		}
+		e.stats.RecorderHeld++
+		h := &heldFrame{f: f}
+		epoch := e.epoch
+		h.timer = e.sched.After(e.cfg.RecorderAckTimeout, func() {
+			if e.epoch != epoch {
+				return
+			}
+			if _, ok := e.held[f.ID]; ok {
+				delete(e.held, f.ID)
+				e.stats.RecorderExpired++
+				e.log.Add(trace.KindDrop, int(e.node), f.ID.String(),
+					"discarded: no recorder ack (will be resent)")
+			}
+		})
+		e.held[f.ID] = h
+		return
+	}
+	e.accept(f)
+}
+
+func (e *Endpoint) handleRecorderAck(f *frame.Frame) {
+	h, ok := e.held[f.ID]
+	if !ok {
+		return
+	}
+	e.sched.Cancel(h.timer)
+	delete(e.held, f.ID)
+	e.accept(h.f)
+}
+
+// accept finishes end-to-end reception: dedup, in-order reassembly,
+// acknowledge, deliver upward. Acks are sent only as frames are delivered,
+// so the recorder's ack-order inference (§4.4.1) remains the true order in
+// which messages reached the process queues.
+func (e *Endpoint) accept(f *frame.Frame) {
+	if e.dup.contains(f.ID) {
+		// "If the identifier of a received message is found in this cache,
+		// then the message is discarded as a duplicate" — but the ack must
+		// be repeated, since its loss is why the duplicate exists.
+		e.stats.DupsSuppressed++
+		e.ack(f)
+		return
+	}
+	st := e.stream(f.Src, xseqEpoch(f.XSeq))
+	low := xseqSeq(f.XLow)
+	if !st.synced {
+		// First contact with this sender epoch: sequences below XLow were
+		// acknowledged before we existed and will never be resent.
+		st.synced = true
+		st.expected = low
+	} else if low > st.expected {
+		// The sender abandoned everything below XLow (retry exhaustion);
+		// waiting for the gap would stall the stream forever.
+		st.expected = low
+		e.drain(st)
+	}
+	e.advance(st, f)
+}
+
+// stream returns the reassembly state for src's current boot epoch,
+// discarding state from a previous epoch (the sender rebooted and restarted
+// its sequence space).
+func (e *Endpoint) stream(src frame.NodeID, epoch uint16) *rxStream {
+	st, ok := e.rx[src]
+	if ok && st.epoch == epoch {
+		return st
+	}
+	st = &rxStream{epoch: epoch, buf: make(map[uint64]*frame.Frame)}
+	e.rx[src] = st
+	return st
+}
+
+func (e *Endpoint) advance(st *rxStream, f *frame.Frame) {
+	seq := xseqSeq(f.XSeq)
+	switch {
+	case seq < st.expected:
+		// Already delivered before the dup cache forgot it; just re-ack.
+		e.stats.DupsSuppressed++
+		e.ack(f)
+	case seq == st.expected:
+		if !e.deliverUp(f) {
+			// Refused: remember the frame so a retransmission (or a later
+			// poke) can retry; the stream does not advance past it.
+			st.buf[seq] = f
+			return
+		}
+		delete(st.buf, seq) // drop any stale buffered copy
+		st.expected++
+		e.drain(st)
+	default:
+		if _, ok := st.buf[seq]; !ok {
+			st.buf[seq] = f
+		}
+	}
+}
+
+func (e *Endpoint) drain(st *rxStream) {
+	for {
+		f, ok := st.buf[st.expected]
+		if !ok {
+			return
+		}
+		if !e.deliverUp(f) {
+			return // refused; frame stays buffered at expected
+		}
+		delete(st.buf, st.expected)
+		st.expected++
+	}
+}
+
+// Poke retries delivery of any frames refused earlier (the kernel calls it
+// when a recovering process becomes able to accept messages again, rather
+// than waiting out a retransmission interval).
+func (e *Endpoint) Poke() {
+	for _, st := range e.rx {
+		if st.synced {
+			e.drain(st)
+		}
+	}
+}
+
+// Abort withdraws queued and in-flight guaranteed frames matching pred and
+// returns them in their original send order. The kernel uses it to re-route
+// traffic when it learns a destination process has moved to another node.
+func (e *Endpoint) Abort(pred func(f *frame.Frame) bool) []*frame.Frame {
+	var out []*frame.Frame
+	for id, fl := range e.inflight {
+		if pred(fl.f) {
+			e.sched.Cancel(fl.timer)
+			delete(e.inflight, id)
+			if e.perDest[fl.f.Dst] > 0 {
+				e.perDest[fl.f.Dst]--
+			}
+			out = append(out, fl.f)
+		}
+	}
+	// In-flight frames were admitted before anything still queued; order
+	// them by their stream sequence.
+	sortFrames(out)
+	keep := e.sendq[:0]
+	for _, f := range e.sendq {
+		if pred(f) {
+			out = append(out, f)
+		} else {
+			keep = append(keep, f)
+		}
+	}
+	e.sendq = keep
+	e.pump()
+	return out
+}
+
+func sortFrames(fs []*frame.Frame) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && xseqSeq(fs[j].XSeq) < xseqSeq(fs[j-1].XSeq); j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// ack broadcasts the end-to-end acknowledgement. The recorder overhears it
+// and learns the order in which messages were accepted at this node
+// (§4.4.1: "It is possible to discover the order in which messages are
+// received at the receiving node by tracing the acknowledgements").
+func (e *Endpoint) ack(f *frame.Frame) {
+	e.stats.AcksSent++
+	e.med.Send(e.node, &frame.Frame{
+		Type: frame.Ack,
+		Src:  e.node,
+		Dst:  f.Src,
+		ID:   f.ID,
+		From: f.To, // ack is attributed to the receiving process
+		To:   f.From,
+	})
+}
+
+var _ lan.Station = (*Endpoint)(nil)
+
+// dupCache is a fixed-size FIFO set of message ids.
+type dupCache struct {
+	set  map[frame.MsgID]struct{}
+	ring []frame.MsgID
+	next int
+}
+
+func newDupCache(n int) *dupCache {
+	return &dupCache{set: make(map[frame.MsgID]struct{}, n), ring: make([]frame.MsgID, n)}
+}
+
+func (c *dupCache) contains(id frame.MsgID) bool {
+	_, ok := c.set[id]
+	return ok
+}
+
+func (c *dupCache) add(id frame.MsgID) {
+	if c.contains(id) {
+		return
+	}
+	old := c.ring[c.next]
+	if !old.IsNil() {
+		delete(c.set, old)
+	}
+	c.ring[c.next] = id
+	c.next = (c.next + 1) % len(c.ring)
+	c.set[id] = struct{}{}
+}

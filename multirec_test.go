@@ -1,0 +1,148 @@
+package publishing
+
+import (
+	"testing"
+
+	"publishing/internal/simtime"
+)
+
+// multiCfg builds the standard scenario config with two recorders.
+func multiCfg() Config {
+	cfg := DefaultConfig(3)
+	cfg.Recorders = 2
+	return cfg
+}
+
+// With two recorders (§6.3), the network stays available while one is down:
+// "If there are n recorders, n−1 can fail before the network becomes
+// unavailable."
+func TestTrafficSurvivesOneRecorderCrash(t *testing.T) {
+	c, sink, _ := buildScenario(t, multiCfg(), 12)
+	c.Scheduler().At(800*simtime.Millisecond, func() { c.CrashRecorderAt(0) })
+	c.Run(60 * simtime.Second)
+	expectSteps(t, sink, 12)
+}
+
+// With both recorders down, everything suspends — and resumes when one
+// returns.
+func TestAllRecordersDownSuspendsTraffic(t *testing.T) {
+	c, sink, _ := buildScenario(t, multiCfg(), 12)
+	c.Scheduler().At(800*simtime.Millisecond, func() {
+		c.CrashRecorderAt(0)
+		c.CrashRecorderAt(1)
+	})
+	c.Run(4 * simtime.Second)
+	blocked := len(sink.msgs)
+	c.Run(2 * simtime.Second)
+	if len(sink.msgs) != blocked {
+		t.Fatal("traffic flowed with every recorder down")
+	}
+	if err := c.RestartRecorderAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RestartRecorderAt(1); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(90 * simtime.Second)
+	expectSteps(t, sink, 12)
+}
+
+// A process crash while the primary recorder is down: the surviving
+// recorder has the full stream (it records everything) and performs the
+// recovery itself after the claim query goes unanswered.
+func TestSecondaryRecorderPerformsRecovery(t *testing.T) {
+	c, sink, worker := buildScenario(t, multiCfg(), 12)
+	c.Scheduler().At(700*simtime.Millisecond, func() { c.CrashRecorderAt(0) })
+	c.Scheduler().At(1200*simtime.Millisecond, func() { c.CrashProcess(worker) })
+	c.Run(120 * simtime.Second)
+	expectSteps(t, sink, 12)
+	if got := c.RecorderAt(1).Stats().RecoveriesCompleted; got != 1 {
+		t.Fatalf("secondary recorder completed %d recoveries, want 1", got)
+	}
+}
+
+// Node-crash arbitration: the primary answers the secondary's claim query,
+// so exactly one recorder recovers the node's processes.
+func TestArbitrationSingleRecoverer(t *testing.T) {
+	c, sink, _ := buildScenario(t, multiCfg(), 12)
+	c.Scheduler().At(1100*simtime.Millisecond, func() { c.CrashNode(1) })
+	c.Run(120 * simtime.Second)
+	expectSteps(t, sink, 12)
+	r0 := c.RecorderAt(0).Stats().RecoveriesStarted
+	r1 := c.RecorderAt(1).Stats().RecoveriesStarted
+	if r0 == 0 {
+		t.Fatalf("primary started no recoveries (r0=%d r1=%d)", r0, r1)
+	}
+	if r1 != 0 {
+		t.Fatalf("secondary also recovered (r0=%d r1=%d); duty must be exclusive", r0, r1)
+	}
+}
+
+// Both recorders stay consistent: their reconstructed streams for the
+// worker match even though only one receives the notices end-to-end.
+func TestRecordersStayConsistent(t *testing.T) {
+	c, sink, worker := buildScenario(t, multiCfg(), 10)
+	c.Run(30 * simtime.Second)
+	expectSteps(t, sink, 10)
+	s0 := c.RecorderAt(0).StreamSummary(worker)
+	s1 := c.RecorderAt(1).StreamSummary(worker)
+	if len(s0) == 0 {
+		t.Fatal("primary has no stream")
+	}
+	if len(s0) != len(s1) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(s0), len(s1))
+	}
+	for i := range s0 {
+		if s0[i] != s1[i] {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, s0[i], s1[i])
+		}
+	}
+	_, _, _, ls0, _ := c.RecorderAt(0).Entry(worker)
+	_, _, _, ls1, _ := c.RecorderAt(1).Entry(worker)
+	if ls0 != ls1 || ls0 == 0 {
+		t.Fatalf("lastSent diverges: %d vs %d", ls0, ls1)
+	}
+}
+
+// After a restart with peers, a recorder declines recovery duty until the
+// forced checkpoints land (§6.3 catch-up), then resumes.
+func TestRestartCatchUp(t *testing.T) {
+	c, sink, _ := buildScenario(t, multiCfg(), 14)
+	c.Scheduler().At(800*simtime.Millisecond, func() { c.CrashRecorderAt(0) })
+	c.Run(3 * simtime.Second)
+	if err := c.RestartRecorderAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if !c.RecorderAt(0).CatchingUp() {
+		t.Fatal("restarted recorder is not catching up")
+	}
+	c.Run(120 * simtime.Second)
+	if c.RecorderAt(0).CatchingUp() {
+		t.Fatal("catch-up never completed")
+	}
+	expectSteps(t, sink, 14)
+	if got := c.RecorderAt(0).Stats().CheckpointsStored; got == 0 {
+		t.Fatal("no forced checkpoints were stored during catch-up")
+	}
+}
+
+func TestMultiRecorderDeterminism(t *testing.T) {
+	run := func() string {
+		c, sink, worker := buildScenario(t, multiCfg(), 10)
+		c.Scheduler().At(700*simtime.Millisecond, func() { c.CrashRecorderAt(0) })
+		c.Scheduler().At(1200*simtime.Millisecond, func() { c.CrashProcess(worker) })
+		c.Run(60 * simtime.Second)
+		return joinStrings(sink.msgs) + "|" + c.Now().String()
+	}
+	if run() != run() {
+		t.Fatal("multi-recorder cluster not deterministic")
+	}
+}
+
+func joinStrings(ss []string) string {
+	out := ""
+	for _, s := range ss {
+		out += s + ";"
+	}
+	return out
+}

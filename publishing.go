@@ -1,0 +1,597 @@
+// Package publishing is a reproduction of David L. Presotto's "PUBLISHING:
+// A Reliable Broadcast Communication Mechanism" (UC Berkeley, 1983): a
+// reliable-message recovery system in which a passive recorder on a
+// broadcast LAN stores every message and process checkpoint, so any crashed
+// deterministic process can be recovered transparently — restarted from a
+// checkpoint (or its initial image), fed its published messages in their
+// original order, its re-sent output suppressed — without disturbing the
+// processes it was talking to.
+//
+// The package wires the reproduction's subsystems into a Cluster: a
+// DEMOS/MP-style message kernel per node (internal/demos), a simulated
+// broadcast medium (internal/lan: CSMA/CD Ethernet, Acknowledging Ethernet,
+// token ring, star hub, or an idealized broadcast), a reliable transport
+// (internal/transport), and the recorder with its stable store and recovery
+// manager (internal/recorder, internal/stablestore). Everything runs under
+// a deterministic virtual clock (internal/simtime): a Cluster with a given
+// seed always produces the same execution, crash injection included.
+//
+// # Quick start
+//
+//	cfg := publishing.DefaultConfig(3)             // 3 nodes + recorder
+//	c := publishing.New(cfg)
+//	c.Registry().RegisterMachine("counter", newCounter)
+//	pid, _ := c.Spawn(0, demos.ProcSpec{Name: "counter", Recoverable: true})
+//	c.Run(5 * simtime.Second)
+//	c.CrashProcess(pid)                            // fault injection
+//	c.Run(5 * simtime.Second)                      // transparent recovery
+//
+// See examples/ for complete programs and DESIGN.md for the map from the
+// paper's sections to modules.
+package publishing
+
+import (
+	"fmt"
+	"io"
+
+	"publishing/internal/checkpoint"
+	"publishing/internal/debugger"
+	"publishing/internal/demos"
+	"publishing/internal/frame"
+	"publishing/internal/lan"
+	"publishing/internal/recorder"
+	"publishing/internal/simtime"
+	"publishing/internal/stablestore"
+	"publishing/internal/trace"
+	"publishing/internal/transport"
+)
+
+// Re-exported identifiers so example programs and downstream users work
+// against one import.
+type (
+	// ProcID names a process network-wide.
+	ProcID = frame.ProcID
+	// NodeID names a processor.
+	NodeID = frame.NodeID
+	// ProcSpec describes a process image.
+	ProcSpec = demos.ProcSpec
+	// Msg is a received message.
+	Msg = demos.Msg
+	// PCtx is the kernel-call interface processes receive.
+	PCtx = demos.PCtx
+	// Machine is a checkpointable message-handler process.
+	Machine = demos.Machine
+	// Program is a function-style process.
+	Program = demos.Program
+	// LinkID is a process's handle on a link.
+	LinkID = demos.LinkID
+	// Time is virtual time.
+	Time = simtime.Time
+)
+
+// NoLink re-exports demos.NoLink.
+const NoLink = demos.NoLink
+
+// Conventional channel numbers, re-exported from the kernel.
+const (
+	ChanRequest = demos.ChanRequest
+	ChanReply   = demos.ChanReply
+	ChanUrgent  = demos.ChanUrgent
+)
+
+// Virtual-time units, re-exported for example programs and downstream use.
+const (
+	Nanosecond  = simtime.Nanosecond
+	Microsecond = simtime.Microsecond
+	Millisecond = simtime.Millisecond
+	Second      = simtime.Second
+	Minute      = simtime.Minute
+)
+
+// MediumKind selects the broadcast medium.
+type MediumKind string
+
+// Available media (Ch. 6 discusses all of them).
+const (
+	// MediumPerfect is an idealized broadcast (unit tests, queuing studies).
+	MediumPerfect MediumKind = "perfect"
+	// MediumEther is CSMA/CD; publish-before-use runs at the transport
+	// level via recorder acknowledgements (§6.1).
+	MediumEther MediumKind = "ether"
+	// MediumAckEther is the Acknowledging Ethernet with recorder ack slots
+	// (§6.1.1).
+	MediumAckEther MediumKind = "ackether"
+	// MediumRing is the token ring with recorder-filled ack fields (§6.1.2).
+	MediumRing MediumKind = "ring"
+	// MediumStar is the Z8000 star configuration with the recorder as hub
+	// (§4.1, Fig 4.1a).
+	MediumStar MediumKind = "star"
+)
+
+// CheckpointPolicyKind selects how checkpoints are triggered.
+type CheckpointPolicyKind string
+
+const (
+	// CheckpointNone: never checkpoint; recovery replays from the initial
+	// image — the thesis's own DEMOS/MP implementation subset.
+	CheckpointNone CheckpointPolicyKind = "none"
+	// CheckpointStorage: the §5.1 storage-balance policy.
+	CheckpointStorage CheckpointPolicyKind = "storage"
+	// CheckpointBound: the §3.2.3 recovery-time-bound policy, applied to
+	// processes whose spec sets RecoveryTimeBound.
+	CheckpointBound CheckpointPolicyKind = "bound"
+)
+
+// Config assembles a cluster.
+type Config struct {
+	// Nodes is the number of processing nodes (ids 0..Nodes-1). Recorders
+	// take ids Nodes..Nodes+Recorders-1; spares follow.
+	Nodes  int
+	Spares int
+	// Recorders is the number of recorders (§6.3 multiple recorders);
+	// values < 1 mean one.
+	Recorders int
+	// Medium selects the LAN simulation.
+	Medium MediumKind
+	// Seed drives every random stream; same seed, same execution.
+	Seed uint64
+	// Publishing enables published communications. Off gives the baseline
+	// DEMOS/MP the paper measures against in Fig 5.7/5.8.
+	Publishing bool
+
+	LAN       lan.Config
+	Transport transport.Config
+	Costs     demos.Costs
+
+	// RecorderMode is the §5.2.2 publish processing cost model.
+	RecorderMode recorder.ProcessMode
+	// FlushEveryMessage forces one disk write per published message (§5.1
+	// pre-buffering configuration).
+	FlushEveryMessage bool
+	// WatchInterval/MissThreshold tune processor-crash detection (§4.6).
+	WatchInterval simtime.Time
+	MissThreshold int
+	// OnProcessorCrash is the §4.6 operator query; nil = recover on the
+	// same processor after RebootDelay.
+	OnProcessorCrash func(node NodeID) recorder.Decision
+	// RebootDelay is how long a crashed node takes to come back when the
+	// recovery decision is recover-on-same.
+	RebootDelay simtime.Time
+
+	// CheckpointPolicy and CheckpointTick drive automatic checkpointing.
+	CheckpointPolicy CheckpointPolicyKind
+	CheckpointTick   simtime.Time
+
+	// SystemProcs boots the DEMOS process-control system (process manager,
+	// memory scheduler, name server) on node 0.
+	SystemProcs bool
+
+	// TraceWriter, when set, streams the simulation event trace.
+	TraceWriter io.Writer
+}
+
+// DefaultConfig returns a publishing-enabled cluster of n nodes on a
+// perfect broadcast medium with media-level publish-before-use.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:            n,
+		Medium:           MediumPerfect,
+		Seed:             1,
+		Publishing:       true,
+		LAN:              lan.DefaultConfig(),
+		Transport:        transport.DefaultConfig(),
+		Costs:            demos.DefaultCosts(),
+		RecorderMode:     recorder.ModeMediaLayer,
+		WatchInterval:    500 * simtime.Millisecond,
+		MissThreshold:    3,
+		RebootDelay:      2 * simtime.Second,
+		CheckpointPolicy: CheckpointNone,
+		CheckpointTick:   simtime.Second,
+	}
+}
+
+// Cluster is a running simulated distributed system.
+type Cluster struct {
+	cfg   Config
+	sched *simtime.Scheduler
+	rng   *simtime.Rand
+	log   *trace.Log
+	med   lan.Medium
+	reg   *demos.Registry
+
+	kernels map[NodeID]*demos.Kernel
+	recs    []*recorder.Recorder
+	stores  []*stablestore.Store
+	// services mirrors servicesShared for read access; servicesShared is
+	// the map instance every kernel holds a reference to.
+	services       map[string]ProcID
+	servicesShared map[string]frame.ProcID
+}
+
+// New builds a cluster from cfg.
+func New(cfg Config) *Cluster {
+	if cfg.Nodes <= 0 {
+		panic("publishing: cluster needs at least one node")
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		sched:    simtime.NewScheduler(),
+		rng:      simtime.NewRand(cfg.Seed),
+		reg:      demos.NewRegistry(),
+		kernels:  make(map[NodeID]*demos.Kernel),
+		services: make(map[string]ProcID),
+	}
+	c.log = trace.New(c.sched.Now)
+	if cfg.TraceWriter != nil {
+		c.log.SetSink(cfg.TraceWriter)
+	}
+
+	nRecs := cfg.Recorders
+	if nRecs < 1 {
+		nRecs = 1
+	}
+	if !cfg.Publishing {
+		nRecs = 0
+	}
+	recNode := NodeID(cfg.Nodes)
+	switch cfg.Medium {
+	case MediumEther:
+		c.med = lan.NewEther(cfg.LAN, c.sched, c.rng.Fork(), c.log)
+	case MediumAckEther:
+		c.med = lan.NewAckEther(cfg.LAN, c.sched, c.rng.Fork(), c.log)
+	case MediumRing:
+		c.med = lan.NewRing(cfg.LAN, c.sched, c.rng.Fork(), c.log)
+	case MediumStar:
+		c.med = lan.NewStar(cfg.LAN, c.sched, c.rng.Fork(), c.log, recNode)
+	default:
+		c.med = lan.NewPerfect(cfg.LAN, c.sched, c.rng.Fork(), c.log)
+	}
+
+	tcfg := cfg.Transport
+	recProc := frame.NilProc
+	if cfg.Publishing {
+		recProc = ProcID{Node: recNode, Local: 1}
+		if cfg.Medium == MediumEther {
+			// Plain CSMA/CD cannot gate on the recorder; fall back to the
+			// transport-level recorder-acknowledgement protocol (§6.1).
+			tcfg.NeedRecorderAck = true
+		}
+	}
+
+	env := demos.Env{
+		Sched:        c.sched,
+		Rng:          c.rng.Fork(),
+		Log:          c.log,
+		Registry:     c.reg,
+		Costs:        cfg.Costs,
+		Medium:       c.med,
+		Transport:    tcfg,
+		Publishing:   cfg.Publishing,
+		RecorderProc: recProc,
+		Services:     c.servicesView(),
+	}
+	total := cfg.Nodes + cfg.Spares
+	for i := 0; i < total; i++ {
+		id := NodeID(i)
+		if i >= cfg.Nodes {
+			id = NodeID(i + nRecs) // skip the recorder ids
+		}
+		c.kernels[id] = demos.NewKernel(id, env)
+	}
+
+	if cfg.Publishing {
+		watched := make([]NodeID, 0, len(c.kernels))
+		for id := range c.kernels {
+			watched = append(watched, id)
+		}
+		sortNodes(watched)
+		allRecProcs := make([]frame.ProcID, nRecs)
+		for i := 0; i < nRecs; i++ {
+			allRecProcs[i] = ProcID{Node: NodeID(cfg.Nodes + i), Local: 1}
+		}
+		// The recorder's own transport never waits for recorder acks.
+		rtcfg := cfg.Transport
+		rtcfg.NeedRecorderAck = false
+		for i := 0; i < nRecs; i++ {
+			rcfg := recorder.DefaultConfig(NodeID(cfg.Nodes+i), watched)
+			rcfg.Mode = cfg.RecorderMode
+			rcfg.EmitRecorderAcks = tcfg.NeedRecorderAck && i == 0
+			rcfg.FlushEveryMessage = cfg.FlushEveryMessage
+			if cfg.WatchInterval > 0 {
+				rcfg.WatchInterval = cfg.WatchInterval
+			}
+			if cfg.MissThreshold > 0 {
+				rcfg.MissThreshold = cfg.MissThreshold
+			}
+			rcfg.OnProcessorCrash = cfg.OnProcessorCrash
+			rcfg.RebootFn = func(n NodeID) {
+				c.sched.After(cfg.RebootDelay, func() { c.RebootNode(n) })
+			}
+			rcfg.Rank = i
+			rcfg.NoticeProcs = allRecProcs
+			for j, p := range allRecProcs {
+				if j != i {
+					rcfg.Peers = append(rcfg.Peers, p)
+				}
+			}
+			store := stablestore.New()
+			rec := recorder.New(rcfg, c.sched, c.rng.Fork(), c.log, c.med, store, rtcfg)
+			rec.Start()
+			c.recs = append(c.recs, rec)
+			c.stores = append(c.stores, store)
+		}
+	}
+
+	if cfg.SystemProcs {
+		c.bootSystemProcs()
+	}
+	c.armCheckpointTick()
+	return c
+}
+
+// servicesView returns the shared well-known-service map all kernels use.
+func (c *Cluster) servicesView() map[string]frame.ProcID {
+	m := make(map[string]frame.ProcID)
+	c.servicesShared = m
+	return m
+}
+
+// sortNodes orders node ids ascending (map iteration is randomized).
+func sortNodes(ns []NodeID) {
+	for i := 1; i < len(ns); i++ {
+		for j := i; j > 0 && ns[j] < ns[j-1]; j-- {
+			ns[j], ns[j-1] = ns[j-1], ns[j]
+		}
+	}
+}
+
+func (c *Cluster) bootSystemProcs() {
+	demos.RegisterSystemImages(c.reg)
+	ns, err := c.Spawn(0, ProcSpec{Name: demos.SysNameSvc, Recoverable: true})
+	if err != nil {
+		panic(err)
+	}
+	ms, err := c.Spawn(0, ProcSpec{Name: demos.SysMemSched, Recoverable: true})
+	if err != nil {
+		panic(err)
+	}
+	c.SetService("namesvc", ns)
+	c.SetService("memsched", ms)
+	pm, err := c.Spawn(0, ProcSpec{Name: demos.SysProcMgr, Recoverable: true})
+	if err != nil {
+		panic(err)
+	}
+	c.SetService("procmgr", pm)
+}
+
+func (c *Cluster) armCheckpointTick() {
+	if c.cfg.CheckpointPolicy == CheckpointNone || c.cfg.CheckpointTick <= 0 || !c.cfg.Publishing {
+		return
+	}
+	var pol checkpoint.Policy
+	switch c.cfg.CheckpointPolicy {
+	case CheckpointStorage:
+		pol = checkpoint.StorageBalancePolicy{}
+	default:
+		pol = checkpoint.BoundPolicy{Margin: 0.9}
+	}
+	lp := checkpoint.Fig31Params()
+	var tick func()
+	tick = func() {
+		for _, k := range c.kernels {
+			if k.Crashed() {
+				continue
+			}
+			for _, load := range k.Loads() {
+				if !load.Checkpointable {
+					continue
+				}
+				pp := checkpoint.ProcParams{
+					CheckpointPages: load.StateKB * 2, // 512-byte pages
+					MsgsSince:       load.MsgsSinceCk,
+					BytesSince:      load.BytesSinceCk,
+					ExecSince:       load.CPUSinceCk,
+				}
+				if pol.ShouldCheckpoint(lp, pp, load.Bound) {
+					_, _ = k.CheckpointNow(load.Proc)
+				}
+			}
+		}
+		c.sched.After(c.cfg.CheckpointTick, tick)
+	}
+	c.sched.After(c.cfg.CheckpointTick, tick)
+}
+
+// Registry exposes the process-image registry; register every image before
+// spawning or recovery will not find it.
+func (c *Cluster) Registry() *demos.Registry { return c.reg }
+
+// SetService publishes a well-known service address to every kernel.
+func (c *Cluster) SetService(name string, p ProcID) {
+	c.servicesShared[name] = p
+	c.services[name] = p
+}
+
+// Spawn creates a process directly on a node (boot-time convenience; at
+// runtime processes create each other through the process manager).
+func (c *Cluster) Spawn(node NodeID, spec ProcSpec) (ProcID, error) {
+	k := c.kernels[node]
+	if k == nil {
+		return frame.NilProc, fmt.Errorf("publishing: no node %d", node)
+	}
+	return k.Spawn(spec, demos.SpawnOptions{})
+}
+
+// Run advances virtual time by d.
+func (c *Cluster) Run(d Time) { c.sched.Run(c.sched.Now() + d) }
+
+// RunUntil advances time until pred holds or the deadline passes, checking
+// every step. It reports whether pred held.
+func (c *Cluster) RunUntil(pred func() bool, max Time) bool {
+	deadline := c.sched.Now() + max
+	for c.sched.Now() < deadline {
+		if pred() {
+			return true
+		}
+		if next := c.sched.NextAt(); next == simtime.Never || next > deadline {
+			break
+		}
+		c.sched.Step()
+	}
+	return pred()
+}
+
+// Now returns the virtual clock.
+func (c *Cluster) Now() Time { return c.sched.Now() }
+
+// Scheduler exposes the event scheduler (experiments schedule load with it).
+func (c *Cluster) Scheduler() *simtime.Scheduler { return c.sched }
+
+// Kernel returns a node's kernel.
+func (c *Cluster) Kernel(node NodeID) *demos.Kernel { return c.kernels[node] }
+
+// Nodes lists processing + spare node ids.
+func (c *Cluster) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(c.kernels))
+	for id := range c.kernels {
+		out = append(out, id)
+	}
+	sortNodes(out)
+	return out
+}
+
+// Recorder returns the primary recorder (nil when publishing is off).
+func (c *Cluster) Recorder() *recorder.Recorder { return c.RecorderAt(0) }
+
+// RecorderAt returns the i-th recorder, or nil.
+func (c *Cluster) RecorderAt(i int) *recorder.Recorder {
+	if i < 0 || i >= len(c.recs) {
+		return nil
+	}
+	return c.recs[i]
+}
+
+// Recorders returns how many recorders the cluster runs.
+func (c *Cluster) Recorders() int { return len(c.recs) }
+
+// Medium returns the LAN.
+func (c *Cluster) Medium() lan.Medium { return c.med }
+
+// Trace returns the event log.
+func (c *Cluster) Trace() *trace.Log { return c.log }
+
+// Store returns the primary recorder's stable store (nil when publishing
+// is off).
+func (c *Cluster) Store() *stablestore.Store {
+	if len(c.stores) == 0 {
+		return nil
+	}
+	return c.stores[0]
+}
+
+// --- Fault injection --------------------------------------------------------
+
+// CrashProcess halts one process on a simulated fault (§3.3.2).
+func (c *Cluster) CrashProcess(p ProcID) {
+	for _, k := range c.kernels {
+		if k.ProcState(p) != demos.StateUnknown {
+			k.CrashProcess(p, "injected by cluster")
+			return
+		}
+	}
+}
+
+// CrashNode crashes a whole processor.
+func (c *Cluster) CrashNode(n NodeID) {
+	if k := c.kernels[n]; k != nil {
+		k.CrashNode()
+	}
+}
+
+// RebootNode brings a crashed processor back (empty; recovery refills it).
+func (c *Cluster) RebootNode(n NodeID) {
+	if k := c.kernels[n]; k != nil {
+		k.Reboot()
+	}
+}
+
+// CrashRecorder takes the recorder down; all guaranteed traffic suspends
+// until RestartRecorder (§3.3.4).
+func (c *Cluster) CrashRecorder() {
+	c.CrashRecorderAt(0)
+}
+
+// RestartRecorder restarts the recorder: database rebuild from stable
+// storage plus the §3.3.4 node-query protocol.
+func (c *Cluster) RestartRecorder() error {
+	return c.RestartRecorderAt(0)
+}
+
+// Migrate moves a quiescent machine process to another node — §7.1's
+// integration of publishing with Powell & Miller process migration. The
+// process resumes on the destination with its unread queue intact; the
+// recorder learns the new location (future crashes recover it there) and
+// broadcasts routing updates; the source node forwards stragglers.
+func (c *Cluster) Migrate(p ProcID, to NodeID) error {
+	dst := c.kernels[to]
+	if dst == nil {
+		return fmt.Errorf("publishing: migrate: no node %d", to)
+	}
+	var src *demos.Kernel
+	for _, k := range c.kernels {
+		if k.ProcState(p) != demos.StateUnknown {
+			src = k
+			break
+		}
+	}
+	if src == nil {
+		return fmt.Errorf("publishing: migrate: no node runs %s", p)
+	}
+	if src == dst {
+		return nil
+	}
+	img, err := src.ExportProcess(p, to)
+	if err != nil {
+		return err
+	}
+	if err := dst.ImportProcess(img); err != nil {
+		return fmt.Errorf("publishing: migrate: import failed: %w", err)
+	}
+	return nil
+}
+
+// DebugSession opens a §6.5 replay-debugging session for a process,
+// re-executing it in a sandbox against its published message stream. With
+// fromCheckpoint, the session starts at the latest stored checkpoint.
+func (c *Cluster) DebugSession(p ProcID, fromCheckpoint bool) (*debugger.Session, error) {
+	if len(c.recs) == 0 {
+		return nil, fmt.Errorf("publishing: debugging requires publishing to be enabled")
+	}
+	return debugger.FromRecorder(c.reg, c.recs[0], p, fromCheckpoint, c.servicesShared)
+}
+
+// CrashRecorderAt takes one recorder down.
+func (c *Cluster) CrashRecorderAt(i int) {
+	if r := c.RecorderAt(i); r != nil {
+		r.Crash()
+	}
+}
+
+// RestartRecorderAt restarts one recorder (database rebuild + §3.3.4
+// queries + §6.3 catch-up when peers exist).
+func (c *Cluster) RestartRecorderAt(i int) error {
+	if r := c.RecorderAt(i); r != nil {
+		return r.Restart()
+	}
+	return nil
+}
+
+// ProcState reports a process's state as seen by whichever node knows it.
+func (c *Cluster) ProcState(p ProcID) demos.ProcState {
+	for _, k := range c.kernels {
+		if st := k.ProcState(p); st != demos.StateUnknown {
+			return st
+		}
+	}
+	return demos.StateUnknown
+}
