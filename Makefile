@@ -1,0 +1,34 @@
+# Tier-1 verification plus the race check for the concurrent packages.
+# `make check` is what CI (and pre-commit discipline) runs.
+
+GO ?= go
+
+.PHONY: check vet build test race bench bench-json sweep
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The sweep engine runs simulations on real goroutines and the stable store
+# claims concurrency safety (starhub drives it from multiple connections):
+# both stay race-checked.
+race:
+	$(GO) test -race ./internal/sweep ./internal/stablestore
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Regenerate the committed perf-trajectory snapshot (see DESIGN.md).
+bench-json:
+	$(GO) test -bench 'BenchmarkFrameEncodeDecode|BenchmarkStableStoreAppend|BenchmarkRecorderPublish|BenchmarkClusterThroughput' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson
+
+# Regenerate BENCH_sweep.json (parallel-vs-serial determinism proof).
+sweep:
+	$(GO) run ./cmd/experiments -sweep

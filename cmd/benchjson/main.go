@@ -1,0 +1,102 @@
+// Benchjson converts `go test -bench` output on stdin into a JSON snapshot,
+// the format of the repo's committed perf-trajectory files (BENCH_*.json).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run=^$ . | go run ./cmd/benchjson > BENCH_baseline.json
+//
+// Only benchmark result lines are parsed; everything else (ok lines, logs)
+// is ignored, so piping a whole test run through is fine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark result.
+type Bench struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds any custom b.ReportMetric units (e.g. "msgs/wallsec").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the whole file.
+type Snapshot struct {
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []Bench `json:"benchmarks"`
+}
+
+func main() {
+	note := ""
+	if len(os.Args) > 1 {
+		note = strings.Join(os.Args[1:], " ")
+	}
+	snap := Snapshot{Note: note}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if b, ok := parseLine(sc.Text()); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `BenchmarkName-P  N  v unit  v unit ...` line.
+func parseLine(line string) (Bench, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Bench{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		name = name[:i] // strip the -GOMAXPROCS suffix
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Bench{}, false
+	}
+	b := Bench{Name: name, Iters: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Extra == nil {
+				b.Extra = make(map[string]float64)
+			}
+			b.Extra[unit] = v
+		}
+	}
+	return b, true
+}

@@ -211,13 +211,10 @@ func (a *agent) pump(onFrame func(*frame.Frame)) {
 // Wire framing: 4-byte big-endian length + frame.Encode bytes. A frame that
 // fails its checksum on decode is dropped, exactly like the link layer.
 func writeFrame(w io.Writer, f *frame.Frame) error {
-	b := f.Encode()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(b)
+	buf := make([]byte, 4, 4+f.WireLen())
+	buf = f.AppendEncode(buf)
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+	_, err := w.Write(buf)
 	return err
 }
 

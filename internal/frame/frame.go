@@ -258,63 +258,55 @@ func Checksum(b []byte) uint32 {
 // frame is encoded with its checksum complemented, exactly how the ring
 // recorder invalidates a message it failed to store (§6.1.2).
 func (f *Frame) Encode() []byte {
-	buf := make([]byte, 0, f.WireLen())
-	var tmp [8]byte
+	return f.AppendEncode(make([]byte, 0, f.WireLen()))
+}
 
-	put8 := func(v uint8) { buf = append(buf, v) }
-	put16 := func(v uint16) {
-		binary.BigEndian.PutUint16(tmp[:2], v)
-		buf = append(buf, tmp[:2]...)
+func appendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
 	}
-	put32 := func(v uint32) {
-		binary.BigEndian.PutUint32(tmp[:4], v)
-		buf = append(buf, tmp[:4]...)
-	}
-	put64 := func(v uint64) {
-		binary.BigEndian.PutUint64(tmp[:8], v)
-		buf = append(buf, tmp[:8]...)
-	}
-	putProc := func(p ProcID) {
-		put32(uint32(p.Node))
-		put32(p.Local)
-	}
-	putBool := func(b bool) {
-		if b {
-			put8(1)
-		} else {
-			put8(0)
-		}
-	}
+	return append(buf, 0)
+}
 
-	put8(uint8(f.Type))
-	put32(uint32(f.Src))
-	put32(uint32(f.Dst))
-	putProc(f.ID.Sender)
-	put64(f.ID.Seq)
-	putProc(f.From)
-	putProc(f.To)
-	put16(f.Channel)
-	put32(f.Code)
-	put64(f.XSeq)
-	put64(f.XLow)
-	putBool(f.DeliverToKernel)
-	putBool(f.PassedLink != nil)
-	put32(uint32(len(f.Body)))
+func appendProc(buf []byte, p ProcID) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(p.Node))
+	return binary.BigEndian.AppendUint32(buf, p.Local)
+}
+
+// AppendEncode serializes the frame (checksum included) onto buf and
+// returns the extended slice. Passing a reused buffer (`buf[:0]` of a
+// previous call) makes encoding allocation-free — the media and starhub hot
+// paths depend on this. The checksum covers only the bytes this call
+// appends, so buf may already hold unrelated data.
+func (f *Frame) AppendEncode(buf []byte) []byte {
+	start := len(buf)
+	buf = append(buf, uint8(f.Type))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Src))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Dst))
+	buf = appendProc(buf, f.ID.Sender)
+	buf = binary.BigEndian.AppendUint64(buf, f.ID.Seq)
+	buf = appendProc(buf, f.From)
+	buf = appendProc(buf, f.To)
+	buf = binary.BigEndian.AppendUint16(buf, f.Channel)
+	buf = binary.BigEndian.AppendUint32(buf, f.Code)
+	buf = binary.BigEndian.AppendUint64(buf, f.XSeq)
+	buf = binary.BigEndian.AppendUint64(buf, f.XLow)
+	buf = appendBool(buf, f.DeliverToKernel)
+	buf = appendBool(buf, f.PassedLink != nil)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Body)))
 	if f.PassedLink != nil {
-		putProc(f.PassedLink.To)
-		put16(f.PassedLink.Channel)
-		put32(f.PassedLink.Code)
-		putBool(f.PassedLink.DeliverToKernel)
+		buf = appendProc(buf, f.PassedLink.To)
+		buf = binary.BigEndian.AppendUint16(buf, f.PassedLink.Channel)
+		buf = binary.BigEndian.AppendUint32(buf, f.PassedLink.Code)
+		buf = appendBool(buf, f.PassedLink.DeliverToKernel)
 	}
 	buf = append(buf, f.Body...)
 
-	sum := Checksum(buf)
+	sum := Checksum(buf[start:])
 	if f.Corrupt {
 		sum = ^sum
 	}
-	binary.BigEndian.PutUint32(tmp[:4], sum)
-	buf = append(buf, tmp[:4]...)
-	return buf
+	return binary.BigEndian.AppendUint32(buf, sum)
 }
 
 // Decoding errors.
@@ -328,12 +320,25 @@ var (
 // mismatch returns ErrBadChecksum — the link layer's cue to discard the
 // frame silently and let the transport layer retransmit.
 func Decode(b []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeInto(f, b); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// DecodeInto parses an encoded frame into f, verifying the checksum like
+// Decode. It reuses f's existing Body capacity (and PassedLink allocation)
+// where possible, so a caller decoding a stream of frames into one reused
+// Frame allocates nothing in steady state. Every field of f is overwritten;
+// on error f is left in an unspecified state and must not be used.
+func DecodeInto(f *Frame, b []byte) error {
 	if len(b) < headerLen+checksumLen {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	payload, sumBytes := b[:len(b)-checksumLen], b[len(b)-checksumLen:]
 	if Checksum(payload) != binary.BigEndian.Uint32(sumBytes) {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
 
 	pos := 0
@@ -344,10 +349,9 @@ func Decode(b []byte) (*Frame, error) {
 	getProc := func() ProcID { n := NodeID(int32(get32())); l := get32(); return ProcID{Node: n, Local: l} }
 	getBool := func() bool { return get8() != 0 }
 
-	f := &Frame{}
 	f.Type = Type(get8())
 	if !f.Type.Valid() {
-		return nil, ErrBadType
+		return ErrBadType
 	}
 	f.Src = NodeID(int32(get32()))
 	f.Dst = NodeID(int32(get32()))
@@ -362,22 +366,30 @@ func Decode(b []byte) (*Frame, error) {
 	f.DeliverToKernel = getBool()
 	hasLink := getBool()
 	bodyLen := int(get32())
+	f.Corrupt = false
 	if hasLink {
 		if len(payload)-pos < linkLen {
-			return nil, ErrShortFrame
+			return ErrShortFrame
 		}
-		l := &Link{}
+		l := f.PassedLink
+		if l == nil {
+			l = &Link{}
+		}
 		l.To = getProc()
 		l.Channel = get16()
 		l.Code = get32()
 		l.DeliverToKernel = getBool()
 		f.PassedLink = l
+	} else {
+		f.PassedLink = nil
 	}
 	if len(payload)-pos != bodyLen {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	if bodyLen > 0 {
-		f.Body = append([]byte(nil), payload[pos:pos+bodyLen]...)
+		f.Body = append(f.Body[:0], payload[pos:pos+bodyLen]...)
+	} else {
+		f.Body = f.Body[:0]
 	}
-	return f, nil
+	return nil
 }

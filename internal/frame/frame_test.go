@@ -257,3 +257,74 @@ func TestFrameString(t *testing.T) {
 		t.Fatal("token String")
 	}
 }
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	for _, f := range []*Frame{
+		sampleFrame(),
+		{Type: Ack, Src: 1, Dst: 2, ID: MsgID{Sender: ProcID{Node: 1, Local: 1}, Seq: 9}},
+		{Type: Token},
+	} {
+		if !bytes.Equal(f.Encode(), f.AppendEncode(nil)) {
+			t.Fatalf("AppendEncode(nil) differs from Encode for %v", f)
+		}
+		// Appending after a prefix must checksum only the frame bytes.
+		pre := []byte{0xde, 0xad}
+		out := f.AppendEncode(append([]byte(nil), pre...))
+		if !bytes.Equal(out[:2], pre) {
+			t.Fatal("AppendEncode clobbered the prefix")
+		}
+		if g, err := Decode(out[2:]); err != nil {
+			t.Fatalf("Decode after prefix: %v", err)
+		} else if g.ID != f.ID {
+			t.Fatalf("round trip after prefix mismatch: %v vs %v", g.ID, f.ID)
+		}
+	}
+}
+
+func TestDecodeIntoReusesBuffers(t *testing.T) {
+	f := sampleFrame()
+	enc := f.Encode()
+	var g Frame
+	if err := DecodeInto(&g, enc); err != nil {
+		t.Fatalf("DecodeInto: %v", err)
+	}
+	if !reflect.DeepEqual(f, &g) {
+		t.Fatalf("DecodeInto mismatch:\n got %+v\nwant %+v", &g, f)
+	}
+	// Second decode into the same frame must reuse Body and PassedLink.
+	body, link := &g.Body[0], g.PassedLink
+	if err := DecodeInto(&g, enc); err != nil {
+		t.Fatalf("DecodeInto (reuse): %v", err)
+	}
+	if &g.Body[0] != body || g.PassedLink != link {
+		t.Fatal("DecodeInto did not reuse buffers")
+	}
+	// A link-less frame must clear the reused link, and stale fields must
+	// not leak through.
+	h := &Frame{Type: Unguaranteed, Src: 3, Dst: 4}
+	if err := DecodeInto(&g, h.Encode()); err != nil {
+		t.Fatalf("DecodeInto (link-less): %v", err)
+	}
+	if g.PassedLink != nil || len(g.Body) != 0 || g.DeliverToKernel {
+		t.Fatalf("stale state leaked: %+v", &g)
+	}
+}
+
+func TestEncodeDecodeSteadyStateAllocFree(t *testing.T) {
+	f := sampleFrame()
+	var buf []byte
+	var g Frame
+	buf = f.AppendEncode(buf[:0])
+	if err := DecodeInto(&g, buf); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		buf = f.AppendEncode(buf[:0])
+		if err := DecodeInto(&g, buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state encode/decode allocates %.1f allocs/run, want 0", avg)
+	}
+}

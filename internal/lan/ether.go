@@ -39,7 +39,7 @@ type etherTx struct {
 	f        *frame.Frame
 	attempts int
 	start    simtime.Time
-	finish   *simtime.Event
+	finish   simtime.Event
 }
 
 // NewEther returns a CSMA/CD medium.

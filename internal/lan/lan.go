@@ -44,6 +44,11 @@ type Station interface {
 // frame the tap hears; its return value reports whether the tap reliably
 // stored the frame. Media that enforce publish-before-use use that verdict
 // to decide whether receivers may accept the frame.
+//
+// The frame is a shared read-only view, valid only for the duration of the
+// call: media do not clone per tap (a tap only listens, so unlike a Station
+// it needs no private copy), and the tap must copy anything it keeps —
+// including data reached through pointers such as PassedLink.
 type Tap interface {
 	Observe(f *frame.Frame) bool
 }
@@ -253,7 +258,7 @@ func (b *base) offerToTaps(src frame.NodeID, f *frame.Frame) bool {
 			allStored = false
 			continue
 		}
-		if !e.tap.Observe(f.Clone()) {
+		if !e.tap.Observe(f) {
 			b.stats.TapMisses++
 			allStored = false
 		}

@@ -138,9 +138,10 @@ func (m *Ring) circulate(tx *ringTx) {
 			}
 			passAt := onRing + simtime.Time(d)*m.cfg.HopDelay + m.cfg.AckSlot
 			miss := m.faults.TapMissProb > 0 && m.rng.Bool(m.faults.TapMissProb)
-			g := tx.f.Clone()
+			// tx.f is never mutated after enqueue, so the tap's read-only
+			// view needs no clone even though Observe runs later.
 			m.sched.At(passAt, func() {
-				if miss || !e.tap.Observe(g) {
+				if miss || !e.tap.Observe(tx.f) {
 					m.stats.TapMisses++
 					ackFilled.allStored = false
 				}

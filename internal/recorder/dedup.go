@@ -1,0 +1,42 @@
+package recorder
+
+import "publishing/internal/frame"
+
+// noticeSeenLimit bounds each generation of the notice dedup set.
+const noticeSeenLimit = 65536
+
+// genSet is a bounded dedup set with two generations. Adding beyond the
+// per-generation limit rotates: the current generation becomes the previous
+// one and lookups keep consulting both. Unlike a wholesale reset, rotation
+// never forgets an id added in the current generation, so a notice that is
+// still being retransmitted cannot be re-applied the moment the set fills —
+// only ids idle for a whole generation (≥ limit newer ids) age out.
+type genSet struct {
+	cur, prev map[frame.MsgID]bool
+	limit     int
+}
+
+func newGenSet(limit int) genSet {
+	return genSet{cur: make(map[frame.MsgID]bool), limit: limit}
+}
+
+// Seen reports whether id was added within the last two generations.
+func (g *genSet) Seen(id frame.MsgID) bool { return g.cur[id] || g.prev[id] }
+
+// Add records id in the current generation, rotating first if it is full.
+func (g *genSet) Add(id frame.MsgID) {
+	if len(g.cur) >= g.limit {
+		g.prev = g.cur
+		g.cur = make(map[frame.MsgID]bool, g.limit)
+	}
+	g.cur[id] = true
+}
+
+// Reset drops both generations (recorder crash: volatile state is lost).
+func (g *genSet) Reset() {
+	g.cur = make(map[frame.MsgID]bool)
+	g.prev = nil
+}
+
+// Len reports how many ids the set currently remembers.
+func (g *genSet) Len() int { return len(g.cur) + len(g.prev) }

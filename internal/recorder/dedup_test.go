@@ -1,0 +1,61 @@
+package recorder
+
+import (
+	"testing"
+
+	"publishing/internal/frame"
+)
+
+func mkID(n uint64) frame.MsgID {
+	return frame.MsgID{Sender: frame.ProcID{Node: 1, Local: 2}, Seq: n}
+}
+
+func TestGenSetNeverForgetsCurrentGeneration(t *testing.T) {
+	// The bug this replaces: a wholesale reset at the size limit forgot
+	// every id at once, so a notice still being retransmitted was
+	// re-applied. Across a rotation, recently added ids must stay seen.
+	const limit = 8
+	g := newGenSet(limit)
+	for i := uint64(0); i < 3*limit; i++ {
+		id := mkID(i)
+		if g.Seen(id) {
+			t.Fatalf("id %d seen before Add", i)
+		}
+		g.Add(id)
+		if !g.Seen(id) {
+			t.Fatalf("id %d not seen immediately after Add", i)
+		}
+		// The previous `limit` ids span at most one rotation and must
+		// still be deduplicated.
+		for j := uint64(1); j <= limit && j <= i; j++ {
+			if !g.Seen(mkID(i - j)) {
+				t.Fatalf("after adding id %d, id %d (within window %d) forgotten", i, i-j, limit)
+			}
+		}
+	}
+	if g.Len() > 2*limit {
+		t.Fatalf("genSet holds %d ids, want ≤ %d", g.Len(), 2*limit)
+	}
+}
+
+func TestGenSetAgesOutAndResets(t *testing.T) {
+	const limit = 4
+	g := newGenSet(limit)
+	old := mkID(0)
+	g.Add(old)
+	// Two full generations of newer ids push `old` out.
+	for i := uint64(1); i <= 2*limit; i++ {
+		g.Add(mkID(i))
+	}
+	if g.Seen(old) {
+		t.Fatal("id idle for two generations still seen; set is unbounded")
+	}
+	g.Reset()
+	if g.Len() != 0 || g.Seen(mkID(2*limit)) {
+		t.Fatal("Reset did not clear the set")
+	}
+	g.Add(old)
+	if !g.Seen(old) {
+		t.Fatal("Add after Reset not seen")
+	}
+}

@@ -61,22 +61,22 @@ func (r *Recorder) append(rec stablestore.Record) {
 }
 
 func (r *Recorder) persistMessage(e *procEntry, sm *storedMsg) {
-	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: msgKey(e.Proc), Seq: sm.ArrSeq, Data: mustGobR(sm)})
+	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: msgKey(e.Proc), Seq: sm.ArrSeq, Data: r.gobEnc(sm)})
 }
 
 func (r *Recorder) persistAdvisory(e *procEntry, adv *advisory) {
-	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: advKey(e.Proc), Seq: adv.AdvSeq, Data: mustGobR(adv)})
+	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: advKey(e.Proc), Seq: adv.AdvSeq, Data: r.gobEnc(adv)})
 }
 
 func (r *Recorder) persistProcMeta(e *procEntry) {
 	e.Rev++
 	r.append(stablestore.Record{Kind: stablestore.KindMeta, Key: procKey(e.Proc), Seq: e.Rev,
-		Data: mustGobR(&procMeta{Proc: e.Proc, Spec: e.Spec, Node: e.Node})})
+		Data: r.gobEnc(&procMeta{Proc: e.Proc, Spec: e.Spec, Node: e.Node})})
 }
 
 func (r *Recorder) persistLastSent(e *procEntry) {
 	e.Rev++
-	r.append(stablestore.Record{Kind: stablestore.KindMeta, Key: lastKey(e.Proc), Seq: e.Rev, Data: mustGobR(e.LastSent)})
+	r.append(stablestore.Record{Kind: stablestore.KindMeta, Key: lastKey(e.Proc), Seq: e.Rev, Data: r.gobEnc(e.LastSent)})
 }
 
 func (r *Recorder) persistDead(e *procEntry) {
@@ -95,7 +95,7 @@ func (r *Recorder) persistCheckpoint(e *procEntry, trimmed []storedMsg) {
 	}
 	e.Rev++
 	r.append(stablestore.Record{Kind: stablestore.KindCheckpoint, Key: ckKey(e.Proc), Seq: e.Rev,
-		Data: mustGobR(&ckMeta{
+		Data: r.gobEnc(&ckMeta{
 			Blob:          e.Checkpoint,
 			SendSeq:       e.CkSendSeq,
 			ReadCount:     e.CkReadCount,

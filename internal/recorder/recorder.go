@@ -264,7 +264,18 @@ type Recorder struct {
 	awaitCk    map[frame.ProcID]bool
 	// noticeSeen dedups notices consumed off the wire (other recorders'
 	// deliveries; the tap sees every retransmission).
-	noticeSeen map[frame.MsgID]bool
+	noticeSeen genSet
+
+	// gobBuf is the reused scratch for persist* encoding. Gob needs a fresh
+	// Encoder per record (each stream carries its own type preamble, which
+	// rebuild's per-record decoder expects), but the buffer is shared:
+	// stablestore.Append copies Data, so the bytes only need to survive one
+	// call.
+	gobBuf bytes.Buffer
+	// smFree pools storedMsg nodes between Observe and the ack/sweep paths
+	// that retire them, so the tap's steady state stops allocating a node,
+	// body, and link per overheard frame.
+	smFree []*storedMsg
 
 	stats Stats
 }
@@ -292,7 +303,7 @@ func New(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log
 		watch:       make(map[frame.NodeID]*watchState),
 		recovering:  make(map[frame.ProcID]*recoveryProc),
 		waiters:     make(map[uint32]func(*frame.Frame)),
-		noticeSeen:  make(map[frame.MsgID]bool),
+		noticeSeen:  newGenSet(noticeSeenLimit),
 		nextCode:    1,
 	}
 	r.ep = transport.New(cfg.Node, med, sched, log, tcfg)
@@ -372,11 +383,8 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 		// A kernel notice addressed to another recorder: every recorder
 		// must apply it to stay consistent (§6.3: all recorders record all
 		// messages). The tap sees retransmissions, so dedup.
-		if !r.noticeSeen[f.ID] {
-			if len(r.noticeSeen) > 65536 {
-				r.noticeSeen = make(map[frame.MsgID]bool)
-			}
-			r.noticeSeen[f.ID] = true
+		if !r.noticeSeen.Seen(f.ID) {
+			r.noticeSeen.Add(f.ID)
 			if n, err := demos.DecodeNotice(f.Body); err == nil {
 				r.handleNotice(n)
 			}
@@ -407,17 +415,54 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 	if _, dup := r.pending[f.ID]; dup {
 		return
 	}
-	sm := &storedMsg{
-		ID:      f.ID,
-		From:    f.From,
-		Channel: f.Channel,
-		Code:    f.Code,
-		Body:    append([]byte(nil), f.Body...),
-		Link:    f.PassedLink,
-		SeenAt:  r.sched.Now(),
+	sm := r.allocStored()
+	sm.ID = f.ID
+	sm.From = f.From
+	sm.Channel = f.Channel
+	sm.Code = f.Code
+	sm.Body = append(sm.Body[:0], f.Body...)
+	// Deep-copy the link: the medium no longer clones frames for taps, so f
+	// (and everything it points at) belongs to the sender after we return.
+	if f.PassedLink != nil {
+		if sm.Link == nil {
+			sm.Link = new(frame.Link)
+		}
+		*sm.Link = *f.PassedLink
+	} else {
+		sm.Link = nil
 	}
+	sm.ArrSeq = 0
+	sm.SeenAt = r.sched.Now()
 	r.pending[f.ID] = sm
 	r.stats.MessagesPending++
+}
+
+// allocStored takes a storedMsg node from the pool (or the heap); the caller
+// overwrites every field, reusing Body and Link capacity.
+func (r *Recorder) allocStored() *storedMsg {
+	if k := len(r.smFree); k > 0 {
+		sm := r.smFree[k-1]
+		r.smFree[k-1] = nil
+		r.smFree = r.smFree[:k-1]
+		return sm
+	}
+	return &storedMsg{}
+}
+
+// recycleStored returns a node whose Body and Link were never exposed
+// outside the recorder (drop paths only) for full reuse.
+func (r *Recorder) recycleStored(sm *storedMsg) {
+	if len(r.smFree) < 1024 {
+		r.smFree = append(r.smFree, sm)
+	}
+}
+
+// releaseStored retires a node whose Body/Link now alias an archived copy
+// (e.Arrivals or preArrivals): the struct is reused but its buffers are
+// detached so the archive keeps sole ownership.
+func (r *Recorder) releaseStored(sm *storedMsg) {
+	sm.Body, sm.Link = nil, nil
+	r.recycleStored(sm)
 }
 
 // observeAck assigns arrival order: "It is possible to discover the order
@@ -436,15 +481,15 @@ func (r *Recorder) observeAck(f *frame.Frame) {
 		delete(r.pending, f.ID)
 		if f.From.Local != 0 && f.From != r.cfg.Proc && len(r.preArrivals[f.From]) < 1024 {
 			r.preArrivals[f.From] = append(r.preArrivals[f.From], *sm)
+			r.releaseStored(sm)
+		} else {
+			r.recycleStored(sm)
 		}
 		return
 	}
-	if e.Dead {
+	if e.Dead || e.have[f.ID] {
 		delete(r.pending, f.ID)
-		return
-	}
-	if e.have[f.ID] {
-		delete(r.pending, f.ID)
+		r.recycleStored(sm)
 		return
 	}
 	delete(r.pending, f.ID)
@@ -456,6 +501,7 @@ func (r *Recorder) observeAck(f *frame.Frame) {
 	r.stats.BytesStored += uint64(len(sm.Body))
 	r.persistMessage(e, sm)
 	r.log.Add(trace.KindPublish, int(r.cfg.Node), e.Proc.String(), "published %s (#%d in stream)", sm.ID, sm.ArrSeq)
+	r.releaseStored(sm)
 }
 
 // deliver handles guaranteed traffic addressed to the recording software:
@@ -771,12 +817,15 @@ func (r *Recorder) RequestCheckpoint(p frame.ProcID) {
 	r.sendCtl(e.Node, p, true, &demos.CtlMsg{Op: demos.OpCheckpoint}, 0, nil)
 }
 
-func mustGobR(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+// gobEnc encodes v into the recorder's reused scratch buffer. The returned
+// slice is valid only until the next call — callers hand it straight to
+// stablestore.Append, which copies.
+func (r *Recorder) gobEnc(v any) []byte {
+	r.gobBuf.Reset()
+	if err := gob.NewEncoder(&r.gobBuf).Encode(v); err != nil {
 		panic(fmt.Sprintf("recorder: gob: %v", err))
 	}
-	return buf.Bytes()
+	return r.gobBuf.Bytes()
 }
 
 func gobIntoR(b []byte, v any) error {

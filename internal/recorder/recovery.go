@@ -58,6 +58,7 @@ func (r *Recorder) armFlushTick() {
 		for id, sm := range r.pending {
 			if sm.SeenAt < cutoff {
 				delete(r.pending, id)
+				r.recycleStored(sm)
 			}
 		}
 		r.armFlushTick()
@@ -309,10 +310,13 @@ func (r *Recorder) Crash() {
 	r.crashed = true
 	r.epoch++
 	r.db = make(map[frame.ProcID]*procEntry)
+	for _, sm := range r.pending {
+		r.recycleStored(sm) // never exposed; safe to reuse
+	}
 	r.pending = make(map[frame.MsgID]*storedMsg)
 	r.preArrivals = make(map[frame.ProcID][]storedMsg)
 	r.preLastSent = make(map[frame.ProcID]uint64)
-	r.noticeSeen = make(map[frame.MsgID]bool)
+	r.noticeSeen.Reset()
 	r.catchingUp = false
 	r.awaitCk = nil
 	r.recovering = make(map[frame.ProcID]*recoveryProc)

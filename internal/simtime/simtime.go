@@ -11,7 +11,6 @@
 package simtime
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -54,59 +53,65 @@ func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
 // FromMillis converts floating-point milliseconds to a Time.
 func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
 
-// Event is a scheduled callback. Events with equal times fire in the order
-// they were scheduled (FIFO tie-break by sequence number), which keeps the
-// simulation deterministic without requiring callers to perturb timestamps.
-type Event struct {
+// eventNode is the scheduler-owned state of one scheduled callback. Nodes
+// are pooled on a free list: once an event fires or is cancelled its node
+// returns to the scheduler and is re-armed for a later event under a new
+// generation number, so the hot path schedules without heap allocation.
+type eventNode struct {
 	at   Time
 	seq  uint64
 	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, -1 when not queued
+	gen  uint32 // incremented each time the node is re-armed
+	idx  int    // heap index, -1 when not queued
+	dead bool   // cancelled before firing (valid for the current gen)
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.dead }
+// Event is a handle on a scheduled callback. It is a small value (copyable,
+// comparable to its zero value) stamped with the generation of the node it
+// refers to: once the event fires or is cancelled, the scheduler may reuse
+// the node for a later event, and this handle silently becomes inert —
+// Cancel on a stale handle is a no-op and can never affect the new event.
+// The zero Event refers to nothing.
+//
+// Events with equal times fire in the order they were scheduled (FIFO
+// tie-break by sequence number), which keeps the simulation deterministic
+// without requiring callers to perturb timestamps.
+type Event struct {
+	n   *eventNode
+	gen uint32
+}
 
-// At reports the virtual time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// live reports whether the handle still refers to its original event.
+func (e Event) live() bool { return e.n != nil && e.n.gen == e.gen }
 
-type eventHeap []*Event
+// Cancelled reports whether the event was cancelled before firing. Once the
+// scheduler reuses the underlying slot for a later event, the handle is
+// stale and Cancelled reports false (the event is simply done).
+func (e Event) Cancelled() bool { return e.live() && e.n.dead }
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Pending reports whether the event is still queued to fire.
+func (e Event) Pending() bool { return e.live() && e.n.idx >= 0 }
+
+// At reports the virtual time the event is scheduled for, or 0 once the
+// handle is stale.
+func (e Event) At() Time {
+	if !e.live() {
+		return 0
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx, h[j].idx = i, j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return e.n.at
 }
 
 // Scheduler owns the virtual clock and the pending event queue. It is not
 // safe for concurrent use: the entire simulation is single-threaded by
 // design (process goroutines are stepped synchronously by the kernel
-// scheduler, never run concurrently with the event loop).
+// scheduler, never run concurrently with the event loop). Run whole
+// independent simulations on separate Schedulers to use multiple cores
+// (see internal/sweep).
 type Scheduler struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []*eventNode // binary min-heap on (at, seq)
+	free   []*eventNode // recycled nodes, reused by At/After
 	fired  uint64
 	halted bool
 }
@@ -122,58 +127,79 @@ func (s *Scheduler) Now() Time { return s.now }
 // Fired returns the number of events executed so far.
 func (s *Scheduler) Fired() uint64 { return s.fired }
 
+// alloc takes a node from the free list (or the heap allocator) and arms it
+// under a fresh generation.
+func (s *Scheduler) alloc() *eventNode {
+	var n *eventNode
+	if k := len(s.free); k > 0 {
+		n = s.free[k-1]
+		s.free[k-1] = nil
+		s.free = s.free[:k-1]
+	} else {
+		n = &eventNode{}
+	}
+	n.gen++
+	n.dead = false
+	return n
+}
+
+// recycle returns a node to the free list. The node keeps its generation
+// until re-armed, so outstanding handles still answer queries correctly.
+func (s *Scheduler) recycle(n *eventNode) {
+	n.fn = nil
+	n.idx = -1
+	s.free = append(s.free, n)
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // is a programming error and panics: silently reordering time would destroy
 // the causality the recorder depends on.
-func (s *Scheduler) At(t Time, fn func()) *Event {
+func (s *Scheduler) At(t Time, fn func()) Event {
 	if t < s.now {
 		panic(fmt.Sprintf("simtime: event scheduled in the past: %v < %v", t, s.now))
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, idx: -1}
+	n := s.alloc()
+	n.at, n.seq, n.fn = t, s.seq, fn
 	s.seq++
-	heap.Push(&s.events, e)
-	return e
+	s.push(n)
+	return Event{n: n, gen: n.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (s *Scheduler) After(d Time, fn func()) *Event {
+func (s *Scheduler) After(d Time, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("simtime: negative delay %v", d))
 	}
 	return s.At(s.now+d, fn)
 }
 
-// Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (s *Scheduler) Cancel(e *Event) {
-	if e == nil || e.dead || e.idx < 0 {
-		if e != nil {
-			e.dead = true
-		}
+// Cancel removes a pending event. Cancelling an already-fired, already-
+// cancelled, stale, or zero handle is a no-op.
+func (s *Scheduler) Cancel(e Event) {
+	n := e.n
+	if n == nil || n.gen != e.gen || n.dead || n.idx < 0 {
 		return
 	}
-	e.dead = true
-	heap.Remove(&s.events, e.idx)
-	e.idx = -1
+	n.dead = true
+	s.removeAt(n.idx)
+	s.recycle(n)
 }
 
 // Step fires the next pending event, advancing the clock to its timestamp.
 // It reports false when the queue is empty or the scheduler is halted.
 func (s *Scheduler) Step() bool {
-	if s.halted {
+	if s.halted || len(s.events) == 0 {
 		return false
 	}
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
-		s.fired++
-		e.fn()
-		return true
-	}
-	return false
+	n := s.popMin()
+	s.now = n.at
+	s.fired++
+	fn := n.fn
+	// Recycle before running: the callback may immediately schedule new
+	// events and reuse this very node (under a new generation).
+	s.recycle(n)
+	fn()
+	return true
 }
 
 // Run fires events until the queue drains or the clock passes limit.
@@ -218,16 +244,10 @@ func (s *Scheduler) Halted() bool { return s.halted }
 // Resume clears a halt.
 func (s *Scheduler) Resume() { s.halted = false }
 
-// Pending returns the number of queued (uncancelled) events.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.dead {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of queued (uncancelled) events. Cancel removes
+// events from the queue eagerly, so every queued node is live and this is
+// O(1) — it used to scan the whole queue filtering cancelled entries.
+func (s *Scheduler) Pending() int { return len(s.events) }
 
 // NextAt returns the time of the next pending event, or Never.
 func (s *Scheduler) NextAt() Time {
@@ -235,4 +255,90 @@ func (s *Scheduler) NextAt() Time {
 		return Never
 	}
 	return s.events[0].at
+}
+
+// --- binary min-heap on (at, seq) -------------------------------------------
+//
+// Hand-rolled rather than container/heap so pops and removals stay free of
+// interface boxing and so the scheduler controls node lifetimes exactly.
+
+func (s *Scheduler) less(i, j int) bool {
+	a, b := s.events[i], s.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Scheduler) swap(i, j int) {
+	s.events[i], s.events[j] = s.events[j], s.events[i]
+	s.events[i].idx, s.events[j].idx = i, j
+}
+
+func (s *Scheduler) push(n *eventNode) {
+	n.idx = len(s.events)
+	s.events = append(s.events, n)
+	s.up(n.idx)
+}
+
+func (s *Scheduler) popMin() *eventNode {
+	n := s.events[0]
+	last := len(s.events) - 1
+	s.swap(0, last)
+	s.events[last] = nil
+	s.events = s.events[:last]
+	if last > 0 {
+		s.down(0)
+	}
+	n.idx = -1
+	return n
+}
+
+func (s *Scheduler) removeAt(i int) {
+	n := s.events[i]
+	last := len(s.events) - 1
+	if i != last {
+		s.swap(i, last)
+	}
+	s.events[last] = nil
+	s.events = s.events[:last]
+	if i < last {
+		if !s.down(i) {
+			s.up(i)
+		}
+	}
+	n.idx = -1
+}
+
+func (s *Scheduler) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves, reporting whether it moved.
+func (s *Scheduler) down(i int) bool {
+	start := i
+	n := len(s.events)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && s.less(right, left) {
+			least = right
+		}
+		if !s.less(least, i) {
+			break
+		}
+		s.swap(i, least)
+		i = least
+	}
+	return i > start
 }

@@ -69,7 +69,7 @@ func TestSchedulerAfterAndCancel(t *testing.T) {
 func TestSchedulerCancelFromWithinEvent(t *testing.T) {
 	s := NewScheduler()
 	fired := 0
-	var e2 *Event
+	var e2 Event
 	s.At(1, func() { s.Cancel(e2) })
 	e2 = s.At(2, func() { fired++ })
 	s.At(3, func() { fired++ })
@@ -166,6 +166,85 @@ func TestSchedulerReschedulesDuringEvent(t *testing.T) {
 	s.RunAll(10)
 	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
 		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestSchedulerPendingCounts(t *testing.T) {
+	// Regression test for the Pending O(n) scan fix: Pending must keep its
+	// exact semantics — the number of scheduled, uncancelled, unfired
+	// events — through every combination of At, Cancel, and Step.
+	s := NewScheduler()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending on empty scheduler = %d", s.Pending())
+	}
+	var evs []Event
+	for i := Time(1); i <= 10; i++ {
+		evs = append(evs, s.At(i*10, func() {}))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	s.Cancel(evs[3])
+	s.Cancel(evs[7])
+	s.Cancel(evs[7]) // double-cancel must not double-count
+	if s.Pending() != 8 {
+		t.Fatalf("Pending after 2 cancels = %d, want 8", s.Pending())
+	}
+	s.Step()
+	s.Step()
+	if s.Pending() != 6 {
+		t.Fatalf("Pending after 2 steps = %d, want 6", s.Pending())
+	}
+	s.RunAll(100)
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after RunAll = %d, want 0", s.Pending())
+	}
+	// Cancelling a long-fired handle is a no-op and must not go negative.
+	s.Cancel(evs[0])
+	if s.Pending() != 0 {
+		t.Fatalf("Pending after stale cancel = %d, want 0", s.Pending())
+	}
+}
+
+func TestSchedulerFreeListReuse(t *testing.T) {
+	// The free list must reuse event nodes without letting a stale handle
+	// cancel the event that now occupies the recycled node.
+	s := NewScheduler()
+	stale := s.At(1, func() {})
+	s.RunAll(10) // fires `stale`; its node returns to the free list
+	fired := 0
+	fresh := s.At(2, func() { fired++ })
+	// The recycled node backs `fresh` now; cancelling through the stale
+	// handle must not touch it.
+	s.Cancel(stale)
+	if stale.Pending() || stale.Cancelled() {
+		t.Fatal("stale handle reports live state")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost by stale cancel")
+	}
+	s.RunAll(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestSchedulerNoAllocSteadyState(t *testing.T) {
+	// Once the free list is primed, schedule/fire cycles must not allocate.
+	s := NewScheduler()
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		s.After(1, fn)
+	}
+	s.RunAll(1000)
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			s.After(Time(i), fn)
+		}
+		s.RunAll(1000)
+	})
+	if avg > 0.5 {
+		t.Fatalf("steady-state scheduling allocates %.1f allocs/run, want 0", avg)
 	}
 }
 

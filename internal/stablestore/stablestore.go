@@ -129,9 +129,21 @@ type Store struct {
 	// checkpoint may invalidate a non-prefix subset of a stream.
 	invalidSeqs map[string]map[uint64]bool
 	// chains maps the first page of an oversized record (checkpoints) to
-	// its continuation pages.
-	chains map[uint64][]uint64
-	stats  Stats
+	// its continuation pages; chainSet holds every page of every chain
+	// (including firsts) for O(1) membership tests.
+	chains   map[uint64][]uint64
+	chainSet map[uint64]bool
+	// keyPages indexes which pages hold records of each key (chains by
+	// their first page), so ReadKey and Compact visit only relevant pages
+	// instead of scanning the whole store.
+	keyPages map[string][]uint64
+	// dirty holds page ids whose in-memory content is newer than the file
+	// backing. Physical WriteAt is batched to Flush/Close/Compact — the
+	// §5.1 buffering discipline extended to page syncs — while
+	// Stats.PageWrites keeps counting logical page writes for the disk
+	// utilization model.
+	dirty map[uint64]bool
+	stats Stats
 
 	// file backing, optional.
 	f *os.File
@@ -139,7 +151,11 @@ type Store struct {
 
 // New returns an in-memory store.
 func New() *Store {
-	return &Store{pages: make(map[uint64][]byte), invalid: make(map[string]uint64)}
+	return &Store{
+		pages:    make(map[uint64][]byte),
+		invalid:  make(map[string]uint64),
+		keyPages: make(map[string][]uint64),
+	}
 }
 
 // Open returns a file-backed store, loading any existing pages from path.
@@ -165,7 +181,87 @@ func Open(path string) (*Store, error) {
 		s.pages[uint64(i)] = page
 	}
 	s.next = uint64(n)
+	s.rebuildIndexLocked()
 	return s, nil
+}
+
+// rebuildIndexLocked reconstructs the volatile chain and key indexes from
+// raw pages after Open. Chains must be re-derived or a reopened store would
+// try to decode an oversized record's first page as a self-contained page
+// and fail: a first page is recognizable because its single record's encoded
+// length exceeds the page, and its continuations are the immediately
+// following pages (Append allocates them contiguously).
+func (s *Store) rebuildIndexLocked() {
+	ids := make([]uint64, 0, len(s.pages))
+	for id := range s.pages {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	claimed := uint64(0) // continuation pages already consumed by a chain
+	for _, id := range ids {
+		if id < claimed {
+			continue
+		}
+		page := s.pages[id]
+		key, total, ok := peekRecord(page)
+		if !ok {
+			continue // empty or unparseable page; ReadAll will complain
+		}
+		if total <= PageSize {
+			// Regular page: index every record's key.
+			if recs, err := decodeRecords(page); err == nil {
+				for i := range recs {
+					s.indexKeyLocked(recs[i].Key, id)
+				}
+			}
+			continue
+		}
+		// Oversized record: claim ceil(total/PageSize) contiguous pages.
+		npages := uint64((total + PageSize - 1) / PageSize)
+		s.oversize(id, id)
+		for p := id + 1; p < id+npages; p++ {
+			s.oversize(id, p)
+		}
+		s.indexKeyLocked(key, id)
+		claimed = id + npages
+	}
+}
+
+// peekRecord parses the header of the first record on a page, returning its
+// key and total encoded length without materializing the payload.
+func peekRecord(b []byte) (key string, total int, ok bool) {
+	if len(b) < 3 || b[0] == 0 {
+		return "", 0, false
+	}
+	kl := int(binary.BigEndian.Uint16(b[1:3]))
+	if len(b) < 3+kl+12 {
+		return "", 0, false
+	}
+	key = string(b[3 : 3+kl])
+	dl := int(binary.BigEndian.Uint32(b[3+kl+8 : 3+kl+12]))
+	return key, 1 + 2 + kl + 8 + 4 + dl, true
+}
+
+// indexKeyLocked records that page id holds records of key (dedupes the
+// common case of consecutive appends landing on the same buffer page).
+func (s *Store) indexKeyLocked(key string, id uint64) {
+	ids := s.keyPages[key]
+	if n := len(ids); n > 0 && ids[n-1] == id {
+		return
+	}
+	s.keyPages[key] = append(ids, id)
+}
+
+// dropKeyPageLocked removes page id from key's index (compaction dropped
+// the key's last record on that page).
+func (s *Store) dropKeyPageLocked(key string, id uint64) {
+	ids := s.keyPages[key]
+	for i, p := range ids {
+		if p == id {
+			s.keyPages[key] = append(ids[:i], ids[i+1:]...)
+			return
+		}
+	}
 }
 
 // Close releases the file backing, if any.
@@ -173,6 +269,9 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := s.syncLocked(); err != nil {
 		return err
 	}
 	if s.f != nil {
@@ -224,6 +323,7 @@ func (s *Store) Append(r Record) (uint64, error) {
 				return 0, err
 			}
 		}
+		s.indexKeyLocked(r.Key, first)
 		return first, nil
 	}
 
@@ -236,48 +336,83 @@ func (s *Store) Append(r Record) (uint64, error) {
 		s.bufPage = s.allocLocked()
 	}
 	r.encode(&s.buf)
+	s.indexKeyLocked(r.Key, s.bufPage)
 	return s.bufPage, nil
 }
 
 func (s *Store) oversize(first, page uint64) {
 	if s.chains == nil {
 		s.chains = make(map[uint64][]uint64)
+		s.chainSet = make(map[uint64]bool)
 	}
 	if page != first {
 		s.chains[first] = append(s.chains[first], page)
 	} else if _, ok := s.chains[first]; !ok {
 		s.chains[first] = nil
 	}
+	s.chainSet[page] = true
 }
 
-// Flush forces the current write buffer to disk. The recorder calls it
-// before acknowledging a message (§3.3.4: the acknowledgement "is given
-// only after the message has been reliably stored") — or batches it, which
-// is the 4 KB-buffer optimization of §5.1.
+// Flush forces the current write buffer — and every dirty page — to disk.
+// The recorder calls it before acknowledging a message (§3.3.4: the
+// acknowledgement "is given only after the message has been reliably
+// stored") — or batches it, which is the 4 KB-buffer optimization of §5.1.
 func (s *Store) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.flushLocked()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.syncLocked()
 }
 
+// flushLocked seals the current write buffer into its page. The page is
+// only marked dirty; physical writes batch up until syncLocked.
 func (s *Store) flushLocked() error {
 	if s.buf.Len() == 0 {
 		return nil
 	}
-	page := make([]byte, PageSize)
+	page := s.pages[s.bufPage]
+	if page == nil {
+		page = make([]byte, PageSize)
+		s.pages[s.bufPage] = page
+	}
 	copy(page, s.buf.Bytes())
-	s.pages[s.bufPage] = page
 	s.buf.Reset()
 	return s.writePageLocked(s.bufPage)
 }
 
+// writePageLocked records a logical page write. The physical WriteAt is
+// deferred: dirty pages are synced together at the next Flush/Close/Compact
+// boundary, so a burst of appends costs one syscall pass instead of one per
+// page write.
 func (s *Store) writePageLocked(id uint64) error {
 	s.stats.PageWrites++
 	if s.f == nil {
 		return nil
 	}
-	if _, err := s.f.WriteAt(s.pages[id], int64(id)*PageSize); err != nil {
-		return fmt.Errorf("stablestore: write page %d: %w", id, err)
+	if s.dirty == nil {
+		s.dirty = make(map[uint64]bool)
+	}
+	s.dirty[id] = true
+	return nil
+}
+
+// syncLocked writes every dirty page to the file backing, in page order.
+func (s *Store) syncLocked() error {
+	if s.f == nil || len(s.dirty) == 0 {
+		return nil
+	}
+	ids := make([]uint64, 0, len(s.dirty))
+	for id := range s.dirty {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if _, err := s.f.WriteAt(s.pages[id], int64(id)*PageSize); err != nil {
+			return fmt.Errorf("stablestore: write page %d: %w", id, err)
+		}
+		delete(s.dirty, id)
 	}
 	return nil
 }
@@ -328,20 +463,38 @@ func (s *Store) dead(r *Record) bool {
 	return s.invalidSeqs[r.Key][r.Seq]
 }
 
-// Compact rewrites every full page, dropping invalidated message records.
-// It returns the number of records dropped.
+// Compact rewrites pages holding invalidated message records, dropping
+// them. Only pages indexed under a key with invalidations are visited —
+// compaction cost scales with the garbage, not the store. It returns the
+// number of records dropped.
 func (s *Store) Compact() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
 		return 0, err
 	}
-	dropped := 0
-	for id, page := range s.pages {
-		if s.isChainPage(id) {
-			continue
+	// Candidate pages: every page of every key with a pending invalidation.
+	cand := make(map[uint64]bool)
+	for key := range s.invalid {
+		for _, id := range s.keyPages[key] {
+			cand[id] = true
 		}
-		recs, err := decodeRecords(page)
+	}
+	for key := range s.invalidSeqs {
+		for _, id := range s.keyPages[key] {
+			cand[id] = true
+		}
+	}
+	ids := make([]uint64, 0, len(cand))
+	for id := range cand {
+		if !s.isChainPage(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	dropped := 0
+	for _, id := range ids {
+		recs, err := decodeRecords(s.pages[id])
 		if err != nil {
 			return dropped, err
 		}
@@ -364,8 +517,16 @@ func (s *Store) Compact() (int, error) {
 			continue
 		}
 		var buf bytes.Buffer
+		kept := make(map[string]bool, len(keep))
 		for _, r := range keep {
 			r.encode(&buf)
+			kept[r.Key] = true
+		}
+		// Keys whose last record on this page was dropped leave the index.
+		for _, r := range recs {
+			if !kept[r.Key] {
+				s.dropKeyPageLocked(r.Key, id)
+			}
 		}
 		newPage := make([]byte, PageSize)
 		copy(newPage, buf.Bytes())
@@ -374,22 +535,13 @@ func (s *Store) Compact() (int, error) {
 			return dropped, err
 		}
 	}
+	if err := s.syncLocked(); err != nil {
+		return dropped, err
+	}
 	return dropped, nil
 }
 
-func (s *Store) isChainPage(id uint64) bool {
-	for first, rest := range s.chains {
-		if id == first {
-			return true
-		}
-		for _, p := range rest {
-			if id == p {
-				return true
-			}
-		}
-	}
-	return false
-}
+func (s *Store) isChainPage(id uint64) bool { return s.chainSet[id] }
 
 // ReadAll returns every live record, ordered by (key, seq, insertion). The
 // recorder uses it to rebuild its database after a crash (§3.3.4, §4.5).
@@ -440,16 +592,48 @@ func (s *Store) ReadAll() ([]Record, error) {
 	return out, nil
 }
 
-// ReadKey returns the live records for one key in seq order.
+// ReadKey returns the live records for one key in seq order. The per-key
+// page index makes this proportional to the key's own pages rather than a
+// full-store scan.
 func (s *Store) ReadKey(key string) ([]Record, error) {
-	all, err := s.ReadAll()
-	if err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
 		return nil, err
 	}
+	ids := append([]uint64(nil), s.keyPages[key]...)
+	// Match ReadAll's traversal (regular pages in id order, then chains) so
+	// insertion-order ties break identically.
+	sort.Slice(ids, func(i, j int) bool {
+		ci, cj := s.chainSet[ids[i]], s.chainSet[ids[j]]
+		if ci != cj {
+			return !ci
+		}
+		return ids[i] < ids[j]
+	})
 	var out []Record
-	for _, r := range all {
-		if r.Key == key {
-			out = append(out, r)
+	for _, id := range ids {
+		var recs []Record
+		var err error
+		if s.chainSet[id] {
+			var whole bytes.Buffer
+			whole.Write(s.pages[id])
+			for _, p := range s.chains[id] {
+				whole.Write(s.pages[p])
+			}
+			s.stats.PageReads += uint64(1 + len(s.chains[id]))
+			recs, err = decodeRecords(whole.Bytes())
+		} else {
+			s.stats.PageReads++
+			recs, err = decodeRecords(s.pages[id])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("page %d: %w", id, err)
+		}
+		for _, r := range recs {
+			if r.Key == key {
+				out = append(out, r)
+			}
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })

@@ -257,3 +257,112 @@ func TestMetaRecords(t *testing.T) {
 		t.Fatalf("meta records: %+v", recs)
 	}
 }
+
+func TestOversizedChainSurvivesCompactAndReopen(t *testing.T) {
+	// An oversized record's chain map is volatile; before rebuildIndexLocked
+	// a reopened store decoded the chain's first page as a self-contained
+	// page and failed. The full cycle — append, compact, reopen — must
+	// reconstruct the record byte-identically through both read paths.
+	path := filepath.Join(t.TempDir(), "chain.db")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		s.Append(msg("p9.1", i, fmt.Sprintf("pre-%d", i)))
+	}
+	big := make([]byte, 2*PageSize+123)
+	for i := range big {
+		big[i] = byte((i*7 + 13) % 256)
+	}
+	if _, err := s.Append(Record{Kind: KindCheckpoint, Key: "ck:p9.1", Seq: 1, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	s.Append(msg("p9.1", 7, "post"))
+	s.Invalidate("p9.1", 4)
+	if _, err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	check := func(name string, recs []Record, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("%s after reopen: %v", name, err)
+		}
+		found := false
+		for _, r := range recs {
+			if r.Kind != KindCheckpoint {
+				continue
+			}
+			found = true
+			if len(r.Data) != len(big) {
+				t.Fatalf("%s: chain record %d bytes, want %d", name, len(r.Data), len(big))
+			}
+			for i := range big {
+				if r.Data[i] != big[i] {
+					t.Fatalf("%s: chain record corrupt at byte %d", name, i)
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("%s: chain record missing", name)
+		}
+	}
+	all, err := s2.ReadAll()
+	check("ReadAll", all, err)
+	byKey, err := s2.ReadKey("ck:p9.1")
+	check("ReadKey", byKey, err)
+	if len(byKey) != 1 {
+		t.Fatalf("ReadKey returned %d records, want 1", len(byKey))
+	}
+	// The small records around the chain survive too (minus the compacted).
+	small, err := s2.ReadKey("p9.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != 3 || small[0].Seq != 5 || small[2].Seq != 7 {
+		t.Fatalf("small records after compact+reopen: %+v", small)
+	}
+}
+
+func TestReadKeyMatchesReadAllFilter(t *testing.T) {
+	// The per-key page index must not change ReadKey's results vs the old
+	// filter-over-ReadAll implementation.
+	s := New()
+	keys := []string{"a", "b", "c"}
+	for i := uint64(1); i <= 300; i++ {
+		s.Append(msg(keys[i%3], i, fmt.Sprintf("body-%d", i)))
+	}
+	all, err := s.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		var want []Record
+		for _, r := range all {
+			if r.Key == key {
+				want = append(want, r)
+			}
+		}
+		got, err := s.ReadKey(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("key %s: %d records via index, %d via scan", key, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Seq != want[i].Seq || string(got[i].Data) != string(want[i].Data) {
+				t.Fatalf("key %s record %d: %+v vs %+v", key, i, got[i], want[i])
+			}
+		}
+	}
+}

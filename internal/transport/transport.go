@@ -155,12 +155,12 @@ func xseqSeq(x uint64) uint64   { return x & xseqSeqMask }
 type flight struct {
 	f        *frame.Frame
 	attempts int
-	timer    *simtime.Event
+	timer    simtime.Event
 }
 
 type heldFrame struct {
 	f     *frame.Frame
-	timer *simtime.Event
+	timer simtime.Event
 }
 
 // New creates an endpoint for node and attaches it to the medium.
