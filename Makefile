@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json sweep
+.PHONY: check vet build test race sweep-verify bench bench-json bench-recovery sweep
 
-check: vet build test race
+check: vet build test race sweep-verify
 
 vet:
 	$(GO) vet ./...
@@ -22,12 +22,23 @@ test:
 race:
 	$(GO) test -race ./internal/sweep ./internal/stablestore
 
+# The parallel-vs-serial sweep determinism proof, without rewriting
+# BENCH_sweep.json (use `make sweep` to refresh the trajectory file).
+sweep-verify:
+	$(GO) run ./cmd/experiments -verify
+
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # Regenerate the committed perf-trajectory snapshot (see DESIGN.md).
 bench-json:
 	$(GO) test -bench 'BenchmarkFrameEncodeDecode|BenchmarkStableStoreAppend|BenchmarkRecorderPublish|BenchmarkClusterThroughput' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson
+
+# Refresh the "after" half of the recovery-path trajectory (BENCH_recovery.json
+# keeps the pre-batching numbers as its "before") and print the deltas.
+bench-recovery:
+	$(GO) test -bench 'BenchmarkEndToEndRecovery|BenchmarkRecoveryReplay' -run '^$$' . \
+		| $(GO) run ./cmd/benchjson -after BENCH_recovery.json batched, windowed replay pipeline
 
 # Regenerate BENCH_sweep.json (parallel-vs-serial determinism proof).
 sweep:

@@ -229,6 +229,7 @@ func BenchmarkClusterThroughput(b *testing.B) {
 // BenchmarkEndToEndRecovery measures a full crash->detect->replay->recovered
 // cycle of a producer/worker/witness pipeline.
 func BenchmarkEndToEndRecovery(b *testing.B) {
+	var window simtime.Time
 	for i := 0; i < b.N; i++ {
 		cfg := publishing.DefaultConfig(3)
 		c := publishing.New(cfg)
@@ -258,7 +259,39 @@ func BenchmarkEndToEndRecovery(b *testing.B) {
 		if got != 12 {
 			b.Fatalf("recovery failed: %d", got)
 		}
+		var crashAt, doneAt simtime.Time
+		for _, e := range c.Trace().OfKind(trace.KindCrash) {
+			if e.Subject == worker.String() {
+				crashAt = e.At
+				break
+			}
+		}
+		for _, e := range c.Trace().OfKind(trace.KindRecoveryDone) {
+			if e.Subject == worker.String() {
+				doneAt = e.At
+			}
+		}
+		window = doneAt - crashAt
 	}
+	b.ReportMetric(window.Milliseconds(), "recovery_virtual_ms")
+}
+
+// BenchmarkRecoveryReplay{1,64,1024} measure the recovery pipeline at
+// increasing published-stream lengths. The headline metric is virtual
+// recovery time per replayed message: a replay that ships one frame per
+// message scales with message count, a batched one with bytes.
+func BenchmarkRecoveryReplay1(b *testing.B)    { benchRecoveryReplay(b, 1) }
+func BenchmarkRecoveryReplay64(b *testing.B)   { benchRecoveryReplay(b, 64) }
+func BenchmarkRecoveryReplay1024(b *testing.B) { benchRecoveryReplay(b, 1024) }
+
+func benchRecoveryReplay(b *testing.B, n int) {
+	var res measure.RecoveryResult
+	for i := 0; i < b.N; i++ {
+		res = measure.RecoveryReplay(n, nil)
+	}
+	b.ReportMetric(res.Window.Milliseconds(), "recovery_virtual_ms")
+	b.ReportMetric(res.PerMsgMS(), "virtual_ms_per_replayed_msg")
+	b.ReportMetric(float64(res.Replayed), "replayed")
 }
 
 // benchWorker forwards a counter to the witness per message.

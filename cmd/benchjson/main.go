@@ -4,9 +4,17 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -run=^$ . | go run ./cmd/benchjson > BENCH_baseline.json
+//	go test -bench=. -run=^$ . | go run ./cmd/benchjson -after BENCH_recovery.json
+//	go run ./cmd/benchjson -diff old.json new.json
+//	go run ./cmd/benchjson -diff BENCH_recovery.json
 //
 // Only benchmark result lines are parsed; everything else (ok lines, logs)
 // is ignored, so piping a whole test run through is fine.
+//
+// -after updates the "after" half of a before/after pair file in place,
+// preserving its "before" half (a plain snapshot file is adopted as the
+// before). -diff prints per-benchmark deltas between two snapshots, or
+// between the halves of a single pair file.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -35,11 +44,43 @@ type Snapshot struct {
 	Benchmarks []Bench `json:"benchmarks"`
 }
 
+// Pair is a before/after trajectory file (BENCH_recovery.json).
+type Pair struct {
+	Note   string   `json:"note,omitempty"`
+	Before Snapshot `json:"before"`
+	After  Snapshot `json:"after"`
+}
+
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "-diff":
+			runDiff(os.Args[2:])
+			return
+		case "-after":
+			if len(os.Args) < 3 {
+				fmt.Fprintln(os.Stderr, "benchjson: -after needs a pair-file path")
+				os.Exit(1)
+			}
+			runAfter(os.Args[2], strings.Join(os.Args[3:], " "))
+			return
+		}
+	}
 	note := ""
 	if len(os.Args) > 1 {
 		note = strings.Join(os.Args[1:], " ")
 	}
+	snap := readBench(note)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// readBench parses `go test -bench` output on stdin into a snapshot.
+func readBench(note string) Snapshot {
 	snap := Snapshot{Note: note}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -56,12 +97,163 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
+	return snap
+}
+
+// loadFile reads a trajectory file as (pair, isPair) or a plain snapshot.
+func loadFile(path string) (Pair, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	var p Pair
+	if err := json.Unmarshal(data, &p); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if len(p.Before.Benchmarks) > 0 || len(p.After.Benchmarks) > 0 {
+		return p, true
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil || len(s.Benchmarks) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: neither a snapshot nor a before/after pair\n", path)
+		os.Exit(1)
+	}
+	return Pair{Note: s.Note, Before: s}, false
+}
+
+// runAfter refreshes the "after" half of a pair file from stdin, keeping the
+// existing "before" (or adopting a plain snapshot file as the before). A
+// missing file starts a fresh trajectory: the measurement becomes both
+// halves until a later change moves the after.
+func runAfter(path string, note string) {
+	snap := readBench(note)
+	pair := Pair{Before: snap}
+	if _, err := os.Stat(path); err == nil {
+		pair, _ = loadFile(path)
+	}
+	pair.After = snap
+	if note != "" {
+		pair.After.Note = note
+	}
+	data, err := json.MarshalIndent(&pair, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	diffSnapshots(os.Stdout, pair.Before, pair.After)
+}
+
+// runDiff prints per-benchmark deltas: two snapshot files, or the before
+// and after halves of one pair file.
+func runDiff(paths []string) {
+	var old, cur Snapshot
+	switch len(paths) {
+	case 1:
+		p, isPair := loadFile(paths[0])
+		if !isPair {
+			fmt.Fprintf(os.Stderr, "benchjson: %s is not a before/after pair; -diff needs two plain snapshots\n", paths[0])
+			os.Exit(1)
+		}
+		old, cur = p.Before, p.After
+	case 2:
+		// A pair file stands for its most recent measurement (the after).
+		snapOf := func(p Pair, isPair bool) Snapshot {
+			if isPair {
+				return p.After
+			}
+			return p.Before
+		}
+		po, oPair := loadFile(paths[0])
+		pn, nPair := loadFile(paths[1])
+		old, cur = snapOf(po, oPair), snapOf(pn, nPair)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json [new.json]")
+		os.Exit(1)
+	}
+	diffSnapshots(os.Stdout, old, cur)
+}
+
+// diffSnapshots writes one row per (benchmark, metric) with the relative
+// change, matching benchmarks by name.
+func diffSnapshots(w *os.File, old, cur Snapshot) {
+	byName := make(map[string]*Bench, len(old.Benchmarks))
+	for i := range old.Benchmarks {
+		byName[old.Benchmarks[i].Name] = &old.Benchmarks[i]
+	}
+	fmt.Fprintf(w, "%-34s %-28s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	seen := make(map[string]bool, len(cur.Benchmarks))
+	for i := range cur.Benchmarks {
+		nb := &cur.Benchmarks[i]
+		seen[nb.Name] = true
+		ob := byName[nb.Name]
+		if ob == nil {
+			fmt.Fprintf(w, "%-34s %-28s %14s %14s %9s\n", nb.Name, "ns/op", "-", fmtNum(nb.NsPerOp), "new")
+			continue
+		}
+		name := nb.Name
+		for _, m := range metricRows(ob, nb) {
+			fmt.Fprintf(w, "%-34s %-28s %14s %14s %9s\n", name, m.unit, fmtNum(m.old), fmtNum(m.cur), delta(m.old, m.cur))
+			name = "" // print the benchmark name once
+		}
+	}
+	for _, ob := range old.Benchmarks {
+		if !seen[ob.Name] {
+			fmt.Fprintf(w, "%-34s %-28s %14s %14s %9s\n", ob.Name, "ns/op", fmtNum(ob.NsPerOp), "-", "removed")
+		}
+	}
+}
+
+type metricRow struct {
+	unit     string
+	old, cur float64
+}
+
+// metricRows pairs up every metric the two results share (ns/op, -benchmem
+// columns, and custom b.ReportMetric units), in a stable order.
+func metricRows(ob, nb *Bench) []metricRow {
+	rows := []metricRow{{"ns/op", ob.NsPerOp, nb.NsPerOp}}
+	if ob.BytesPerOp != 0 || nb.BytesPerOp != 0 {
+		rows = append(rows, metricRow{"B/op", ob.BytesPerOp, nb.BytesPerOp})
+	}
+	if ob.AllocsPerOp != 0 || nb.AllocsPerOp != 0 {
+		rows = append(rows, metricRow{"allocs/op", ob.AllocsPerOp, nb.AllocsPerOp})
+	}
+	units := make([]string, 0, len(nb.Extra))
+	for u := range nb.Extra {
+		units = append(units, u)
+	}
+	for u := range ob.Extra {
+		if _, ok := nb.Extra[u]; !ok {
+			units = append(units, u)
+		}
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		rows = append(rows, metricRow{u, ob.Extra[u], nb.Extra[u]})
+	}
+	return rows
+}
+
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 5, 64)
+}
+
+// delta formats the relative change, signed; shrinking is improvement for
+// every metric this repo tracks.
+func delta(old, cur float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-old)/old*100)
 }
 
 // parseLine parses one `BenchmarkName-P  N  v unit  v unit ...` line.

@@ -21,19 +21,24 @@ import (
 
 func main() {
 	var (
-		fig31   = flag.Bool("fig31", false, "the §3.2.3 recovery-time bound example")
-		fig57   = flag.Bool("fig57", false, "Fig 5.7 per-message overheads")
-		fig58   = flag.Bool("fig58", false, "Fig 5.8 per-process overheads")
+		fig31    = flag.Bool("fig31", false, "the §3.2.3 recovery-time bound example")
+		fig57    = flag.Bool("fig57", false, "Fig 5.7 per-message overheads")
+		fig58    = flag.Bool("fig58", false, "Fig 5.8 per-process overheads")
 		publish  = flag.Bool("publishtime", false, "§5.2.2 publishing time per message")
 		nodeopt  = flag.Bool("nodeopt", false, "§6.6.2 node-level recovery trade-off")
 		doSweep  = flag.Bool("sweep", false, "parallel deterministic seed sweep; writes -sweepout")
 		sweepOut = flag.String("sweepout", "BENCH_sweep.json", "trajectory file the sweep writes")
+		doVerify = flag.Bool("verify", false, "run the sweep determinism check without writing a trajectory file")
 	)
 	flag.Parse()
-	if *doSweep {
+	if *doSweep || *doVerify {
 		// The sweep is a tool run, not one of the paper's experiments: it
 		// never joins the default "run everything" set.
-		runSweep(*sweepOut)
+		out := *sweepOut
+		if *doVerify {
+			out = ""
+		}
+		runSweep(out)
 		return
 	}
 	all := !(*fig31 || *fig57 || *fig58 || *publish || *nodeopt)

@@ -80,7 +80,8 @@ type sweepFile struct {
 
 // runSweep fans the (medium, seed) grid across the worker pool, checks the
 // parallel outputs against a serial reference run, and writes the
-// trajectory file.
+// trajectory file. An empty out runs the determinism check only (the
+// `make check` verification mode).
 func runSweep(out string) {
 	section("parallel deterministic sweep (internal/sweep)")
 	var tasks []sweep.Task
@@ -128,6 +129,9 @@ func runSweep(out string) {
 	}
 	fmt.Printf("  serial %.2fs, parallel %.2fs (%.1fx); all %d outputs bit-identical\n",
 		serialSec, parallelSec, serialSec/parallelSec, len(tasks))
+	if out == "" {
+		return
+	}
 
 	data, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {

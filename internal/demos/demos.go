@@ -251,9 +251,17 @@ type CtlMsg struct {
 	// Checkpoint is the machine snapshot to restore from (nil: restart from
 	// the initial image).
 	Checkpoint []byte
+	// CkChunks, when nonzero, says the checkpoint was shipped ahead of this
+	// recreate as that many ChanReplay chunk frames (it was too big for one
+	// MTU-sized frame); the kernel assembles it from its staging area.
+	CkChunks uint32
 	// ReadCount is the number of messages the process had read at the time
 	// of the checkpoint.
 	ReadCount uint64
+	// RecoveryGen stamps recovery traffic (Recreate, RecoveryDone) with the
+	// recorder's attempt generation, so a kernel can drop frames from an
+	// abandoned attempt after a recursive crash (§3.5).
+	RecoveryGen uint64
 
 	// Replayed message (OpReplayMsg).
 	ReplayID      frame.MsgID

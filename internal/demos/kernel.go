@@ -35,20 +35,22 @@ type Env struct {
 
 // KernelStats counts per-node kernel activity.
 type KernelStats struct {
-	KernelCalls    uint64
-	MsgsSent       uint64
-	MsgsLocal      uint64 // delivered without touching the network
-	MsgsDelivered  uint64
-	MsgsRefused    uint64 // refused because target crashed/recovering
-	MsgsForwarded  uint64 // forwarded to a migrated process's new node
-	MsgsDiscarded  uint64 // addressed to dead/unknown processes
-	Suppressed     uint64 // output messages squelched during re-execution
-	Advisories     uint64 // §4.4.2 read-order notices
-	Checkpoints    uint64
-	ProcsCreated   uint64
-	ProcsDestroyed uint64
-	ProcsCrashed   uint64
-	Replayed       uint64 // messages injected by recovery processes
+	KernelCalls        uint64
+	MsgsSent           uint64
+	MsgsLocal          uint64 // delivered without touching the network
+	MsgsDelivered      uint64
+	MsgsRefused        uint64 // refused because target crashed/recovering
+	MsgsForwarded      uint64 // forwarded to a migrated process's new node
+	MsgsDiscarded      uint64 // addressed to dead/unknown processes
+	Suppressed         uint64 // output messages squelched during re-execution
+	Advisories         uint64 // §4.4.2 read-order notices
+	Checkpoints        uint64
+	ProcsCreated       uint64
+	ProcsDestroyed     uint64
+	ProcsCrashed       uint64
+	Replayed           uint64 // messages injected by recovery processes
+	ReplayBatches      uint64 // OpReplayBatch frames applied
+	StaleReplayDropped uint64 // replay frames from an abandoned recovery generation
 }
 
 // Kernel is one node's message kernel plus its kernel process (§4.2.1). It
@@ -92,7 +94,21 @@ type Kernel struct {
 	// in a sandbox.
 	emitFilter func(f *frame.Frame) bool
 
+	// ckStage assembles checkpoint blobs that arrive chunked ahead of their
+	// OpRecreate (too big for one MTU-sized frame). Keyed by the recovering
+	// process; a new generation supersedes a stale partial assembly.
+	ckStage map[frame.ProcID]*ckAssembly
+	// replayRecs is the reused decode scratch for replay batches.
+	replayRecs []ReplayRec
+
 	stats KernelStats
+}
+
+// ckAssembly is one in-progress chunked checkpoint transfer.
+type ckAssembly struct {
+	gen  uint64
+	next uint64 // next expected chunk seq
+	data []byte
 }
 
 // NewKernel boots a kernel for node and attaches its network endpoint.
@@ -176,9 +192,11 @@ type SpawnOptions struct {
 	SendSeq    uint64
 	ReadCount  uint64
 	// Recovering starts the process in replay mode with output suppression
-	// through SuppressThrough.
+	// through SuppressThrough; RecoveryGen stamps the attempt so stale
+	// replay traffic can be recognized (§3.5).
 	Recovering      bool
 	SuppressThrough uint64
+	RecoveryGen     uint64
 	// Quiet skips the recorder creation notice (used for recreation, where
 	// the recorder already owns the process's state).
 	Quiet bool
@@ -247,6 +265,7 @@ func (k *Kernel) Spawn(spec ProcSpec, opt SpawnOptions) (frame.ProcID, error) {
 	p.readCount = opt.ReadCount
 	p.recovering = opt.Recovering
 	p.suppressThrough = opt.SuppressThrough
+	p.recoveryGen = opt.RecoveryGen
 	if opt.InitialLink != nil {
 		p.links.insert(*opt.InitialLink)
 	}
@@ -334,6 +353,7 @@ func (k *Kernel) CrashNode() {
 	k.procs = make(map[frame.ProcID]*process)
 	k.runq = nil
 	k.dispatchPending = false
+	k.ckStage = nil
 	k.crashed = true
 	k.ep.Reset()
 	k.env.Medium.Faults().SetDown(k.node, true)

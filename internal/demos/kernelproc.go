@@ -16,6 +16,10 @@ type CtlReply struct {
 	Err           string
 	Proc          frame.ProcID
 	RestartNumber uint64
+	// AckedBatch is the cumulative replay-batch acknowledgement: the highest
+	// batch sequence applied in order for Proc. The recovery pipeline keeps
+	// a window of batches in flight against it.
+	AckedBatch uint64
 }
 
 // EncodeReply gob-encodes a control reply.
@@ -51,6 +55,11 @@ func decodeCheckpoint(b []byte) (*checkpointImage, error) {
 // (To = a controlled process) carry per-process control, and everything the
 // kernel does for them is attributed to the controlled process (§4.4.3).
 func (k *Kernel) handleControl(f *frame.Frame) bool {
+	if f.Channel == ChanReplay {
+		// Replay batches and checkpoint chunks use the fixed binary batch
+		// format, not gob (they are the recovery hot path).
+		return k.handleReplayFrame(f)
+	}
 	ctl, err := DecodeCtl(f.Body)
 	if err != nil {
 		k.env.Log.Add(trace.KindControl, int(k.node), f.From.String(), "undecodable control: %v", err)
@@ -74,17 +83,22 @@ func (k *Kernel) handleControl(f *frame.Frame) bool {
 		if ctl.FirstSendSeq > 0 {
 			sendSeq = ctl.FirstSendSeq - 1
 		}
-		id, err := k.Spawn(ctl.Spec, SpawnOptions{
-			FixedID:         &ctl.Proc,
-			Checkpoint:      ctl.Checkpoint,
-			SendSeq:         sendSeq,
-			ReadCount:       ctl.ReadCount,
-			Recovering:      true,
-			SuppressThrough: ctl.LastSentSeq,
-			Quiet:           true,
-		})
+		ck, err := k.resolveCheckpoint(ctl)
+		var id frame.ProcID
+		if err == nil {
+			id, err = k.Spawn(ctl.Spec, SpawnOptions{
+				FixedID:         &ctl.Proc,
+				Checkpoint:      ck,
+				SendSeq:         sendSeq,
+				ReadCount:       ctl.ReadCount,
+				Recovering:      true,
+				SuppressThrough: ctl.LastSentSeq,
+				RecoveryGen:     ctl.RecoveryGen,
+				Quiet:           true,
+			})
+		}
 		k.env.Log.Add(trace.KindRecoveryStart, int(k.node), ctl.Proc.String(),
-			"recreated (first=%d last=%d ck=%dB): err=%v", ctl.FirstSendSeq, ctl.LastSentSeq, len(ctl.Checkpoint), err)
+			"recreated (gen=%d first=%d last=%d ck=%dB): err=%v", ctl.RecoveryGen, ctl.FirstSendSeq, ctl.LastSentSeq, len(ck), err)
 		k.reply(f, nil, replyFor(id, err), nil)
 
 	case OpQueryProcs:
@@ -115,6 +129,14 @@ func (k *Kernel) handleControl(f *frame.Frame) bool {
 	case OpRecoveryDone:
 		p := k.procs[ctl.Proc]
 		if p == nil {
+			return true
+		}
+		if p.recovering && ctl.RecoveryGen != p.recoveryGen {
+			// A recovery-done from an abandoned attempt must not open the
+			// process to direct traffic mid-replay of the live attempt.
+			k.stats.StaleReplayDropped++
+			k.env.Log.Add(trace.KindRecoveryDone, int(k.node), ctl.Proc.String(),
+				"stale recovery-done (gen %d, live %d) dropped", ctl.RecoveryGen, p.recoveryGen)
 			return true
 		}
 		p.recovering = false
@@ -160,6 +182,122 @@ func (k *Kernel) handleControl(f *frame.Frame) bool {
 		k.env.Log.Add(trace.KindControl, int(k.node), f.To.String(), "unknown ctl op %d", ctl.Op)
 	}
 	return true
+}
+
+// handleReplayFrame dispatches ChanReplay traffic: replay batches and
+// checkpoint chunks in the fixed binary batch format.
+func (k *Kernel) handleReplayFrame(f *frame.Frame) bool {
+	hdr, err := DecodeBatchHdr(f.Body)
+	if err != nil {
+		k.env.Log.Add(trace.KindReplay, int(k.node), f.From.String(), "undecodable replay frame: %v", err)
+		return true
+	}
+	if hdr.Kind == batchKindCkChunk {
+		return k.handleCkChunk(f, hdr)
+	}
+	return k.handleReplayBatch(f, hdr)
+}
+
+// handleReplayBatch unpacks one OpReplayBatch frame into the recovering
+// process's input queue, in order, with zero extra copies: the decoded
+// record bodies alias the frame body, which belongs to this kernel once the
+// transport delivered it (the same discipline as direct delivery in
+// enqueueFrame). One batch costs one receive interrupt and one control
+// charge however many records it carries — that is the whole point.
+func (k *Kernel) handleReplayBatch(f *frame.Frame, hdr ReplayBatchHdr) bool {
+	p := k.procs[hdr.Proc]
+	if p == nil || !p.recovering || p.state == psCrashed || p.recoveryGen != hdr.Gen {
+		// A batch from an abandoned recovery generation (recursive crash,
+		// §3.5) or for a process no longer replaying. Ack and discard — the
+		// live attempt has its own stream.
+		k.stats.StaleReplayDropped++
+		k.env.Log.Add(trace.KindReplay, int(k.node), hdr.Proc.String(),
+			"stale replay batch #%d (gen %d) dropped", hdr.Seq, hdr.Gen)
+		return true
+	}
+	k.charge(k.env.Costs.LinkCPU, 0)
+	if hdr.Seq != p.replayBatch+1 {
+		// Duplicate (or out-of-window) batch: just re-ack cumulatively.
+		k.replyBatchAck(f, p)
+		return true
+	}
+	hdr, recs, err := DecodeReplayBatch(f.Body, k.replayRecs[:0])
+	k.replayRecs = recs[:0]
+	if err != nil {
+		k.env.Log.Add(trace.KindReplay, int(k.node), hdr.Proc.String(), "bad replay batch: %v", err)
+		return true
+	}
+	for i := range recs {
+		k.stats.Replayed++
+		k.pushToQueue(p, Msg{
+			ID:      recs[i].ID,
+			From:    recs[i].From,
+			Channel: recs[i].Channel,
+			Code:    recs[i].Code,
+			Body:    recs[i].Body,
+		}, recs[i].Link)
+	}
+	p.replayBatch = hdr.Seq
+	k.stats.ReplayBatches++
+	k.env.Log.Add(trace.KindReplay, int(k.node), hdr.Proc.String(),
+		"replayed batch #%d (%d messages)", hdr.Seq, len(recs))
+	k.replyBatchAck(f, p)
+	return true
+}
+
+// replyBatchAck sends the cumulative batch acknowledgement for p.
+func (k *Kernel) replyBatchAck(f *frame.Frame, p *process) {
+	k.reply(f, nil, &CtlReply{OK: true, Proc: p.id, AckedBatch: p.replayBatch}, nil)
+}
+
+// handleCkChunk stages one chunk of a checkpoint too big for a single
+// MTU-sized frame. Chunks arrive on the same FIFO transport stream as the
+// OpRecreate that references them, so in-order assembly needs no timer.
+func (k *Kernel) handleCkChunk(f *frame.Frame, hdr ReplayBatchHdr) bool {
+	_, data, err := DecodeCkChunk(f.Body)
+	if err != nil {
+		k.env.Log.Add(trace.KindReplay, int(k.node), hdr.Proc.String(), "bad checkpoint chunk: %v", err)
+		return true
+	}
+	if k.ckStage == nil {
+		k.ckStage = make(map[frame.ProcID]*ckAssembly)
+	}
+	st := k.ckStage[hdr.Proc]
+	if st == nil || st.gen != hdr.Gen {
+		if hdr.Seq != 0 {
+			// Mid-transfer of a generation we never saw start; the recreate
+			// will fail its assembly check and the recorder will retry.
+			k.stats.StaleReplayDropped++
+			return true
+		}
+		st = &ckAssembly{gen: hdr.Gen}
+		k.ckStage[hdr.Proc] = st
+	}
+	if hdr.Seq != st.next {
+		return true // duplicate chunk
+	}
+	st.data = append(st.data, data...)
+	st.next++
+	k.charge(k.env.Costs.LinkCPU, 0)
+	return true
+}
+
+// resolveCheckpoint returns the checkpoint blob an OpRecreate restores
+// from: inline, or assembled from previously staged chunks.
+func (k *Kernel) resolveCheckpoint(ctl *CtlMsg) ([]byte, error) {
+	if ctl.CkChunks == 0 {
+		return ctl.Checkpoint, nil
+	}
+	st := k.ckStage[ctl.Proc]
+	if st == nil || st.gen != ctl.RecoveryGen || st.next != uint64(ctl.CkChunks) {
+		have := uint64(0)
+		if st != nil {
+			have = st.next
+		}
+		return nil, fmt.Errorf("demos: checkpoint for %s incomplete (%d/%d chunks)", ctl.Proc, have, ctl.CkChunks)
+	}
+	delete(k.ckStage, ctl.Proc)
+	return st.data, nil
 }
 
 // reply answers a control request over its passed reply link.

@@ -118,6 +118,13 @@ type process struct {
 	// messages with seq <= suppressThrough are suppressed (§3.3.3).
 	recovering      bool
 	suppressThrough uint64
+	// recoveryGen is the recorder's recovery-attempt generation this
+	// incarnation was recreated under; replay batches and recovery-done
+	// frames from other generations are stale and dropped (§3.5).
+	recoveryGen uint64
+	// replayBatch is the cumulative replay-batch acknowledgement: the
+	// highest batch sequence applied in order.
+	replayBatch uint64
 
 	// goroutine handshake. The goroutine runs only between a send on resume
 	// and the following receive on yield, so exactly one of (kernel,

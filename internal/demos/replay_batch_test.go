@@ -1,0 +1,178 @@
+package demos
+
+import (
+	"bytes"
+	"testing"
+
+	"publishing/internal/frame"
+)
+
+func sampleRecs() []ReplayRec {
+	return []ReplayRec{
+		{
+			ID:      frame.MsgID{Sender: frame.ProcID{Node: 0, Local: 7}, Seq: 41},
+			From:    frame.ProcID{Node: 0, Local: 7},
+			Channel: 3,
+			Code:    9,
+			Body:    []byte("first"),
+		},
+		{
+			ID:      frame.MsgID{Sender: frame.ProcID{Node: 2, Local: 1}, Seq: 1},
+			From:    frame.ProcID{Node: 2, Local: 1},
+			Channel: 0,
+			Code:    0,
+			Body:    nil, // empty bodies are legal
+			Link: &frame.Link{
+				To:              frame.ProcID{Node: 1, Local: 4},
+				Channel:         1,
+				Code:            77,
+				DeliverToKernel: true,
+			},
+		},
+		{
+			ID:      frame.MsgID{Sender: frame.ProcID{Node: 1, Local: 2}, Seq: 9000},
+			From:    frame.ProcID{Node: 1, Local: 2},
+			Channel: 65535,
+			Code:    1 << 31,
+			Body:    bytes.Repeat([]byte{0xAB}, 300),
+		},
+	}
+}
+
+func encodeSampleBatch(recs []ReplayRec) []byte {
+	proc := frame.ProcID{Node: 1, Local: 5}
+	buf := BeginReplayBatch(nil, proc, 3, 12)
+	for i := range recs {
+		buf = AppendReplayRec(buf, &recs[i])
+	}
+	FinishReplayBatch(buf, len(recs))
+	return buf
+}
+
+func TestReplayBatchRoundTrip(t *testing.T) {
+	recs := sampleRecs()
+	buf := encodeSampleBatch(recs)
+
+	h, got, err := DecodeReplayBatch(buf, nil)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := ReplayBatchHdr{Kind: batchKindRecords, Proc: frame.ProcID{Node: 1, Local: 5}, Gen: 3, Seq: 12, Count: 3}
+	if h != want {
+		t.Fatalf("header = %+v, want %+v", h, want)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].ID != recs[i].ID || got[i].From != recs[i].From ||
+			got[i].Channel != recs[i].Channel || got[i].Code != recs[i].Code {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+		if !bytes.Equal(got[i].Body, recs[i].Body) {
+			t.Fatalf("record %d body = %q, want %q", i, got[i].Body, recs[i].Body)
+		}
+		if (got[i].Link == nil) != (recs[i].Link == nil) {
+			t.Fatalf("record %d link presence mismatch", i)
+		}
+		if recs[i].Link != nil && *got[i].Link != *recs[i].Link {
+			t.Fatalf("record %d link = %+v, want %+v", i, *got[i].Link, *recs[i].Link)
+		}
+	}
+}
+
+func TestReplayBatchBodiesAliasFrame(t *testing.T) {
+	recs := sampleRecs()
+	buf := encodeSampleBatch(recs)
+	_, got, err := DecodeReplayBatch(buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The zero-copy contract: decoded bodies point into the batch buffer.
+	body := got[0].Body
+	if len(body) == 0 {
+		t.Fatal("sample record 0 must have a body")
+	}
+	body[0] ^= 0xFF
+	if _, after, _ := DecodeReplayBatch(buf, nil); after[0].Body[0] != body[0] {
+		t.Fatal("decoded body does not alias the batch buffer")
+	}
+}
+
+func TestReplayBatchDecodeReusesSlice(t *testing.T) {
+	recs := sampleRecs()
+	buf := encodeSampleBatch(recs)
+	scratch := make([]ReplayRec, 0, 8)
+	_, first, err := DecodeReplayBatch(buf, scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &scratch[:1][0] {
+		t.Fatal("decode did not append into the provided slice")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_, out, err := DecodeReplayBatch(buf, scratch[:0])
+		if err != nil || len(out) != len(recs) {
+			t.Fatal("decode failed in alloc loop")
+		}
+	})
+	// One allocation per linked record (the *frame.Link) is inherent to the
+	// record shape; the records and bodies themselves must not allocate.
+	if allocs > 1 {
+		t.Fatalf("decode allocates %.1f objects/op, want <= 1 (the link)", allocs)
+	}
+}
+
+func TestReplayBatchEncodedLenMatches(t *testing.T) {
+	recs := sampleRecs()
+	for i := range recs {
+		solo := BeginReplayBatch(nil, frame.ProcID{Node: 1, Local: 5}, 1, 1)
+		solo = AppendReplayRec(solo, &recs[i])
+		if got, want := len(solo)-batchHeaderLen, recs[i].EncodedLen(); got != want {
+			t.Fatalf("record %d EncodedLen = %d, encoded size = %d", i, want, got)
+		}
+	}
+}
+
+func TestReplayBatchTruncation(t *testing.T) {
+	buf := encodeSampleBatch(sampleRecs())
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeReplayBatch(buf[:cut], nil); err == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", cut, len(buf))
+		}
+	}
+	// Trailing garbage is also malformed, not silently ignored.
+	if _, _, err := DecodeReplayBatch(append(append([]byte(nil), buf...), 0x00), nil); err == nil {
+		t.Fatal("trailing byte not detected")
+	}
+	// An unknown kind byte is rejected before any field parse.
+	bad := append([]byte(nil), buf...)
+	bad[0] = 99
+	if _, err := DecodeBatchHdr(bad); err == nil {
+		t.Fatal("unknown kind not detected")
+	}
+}
+
+func TestCkChunkRoundTrip(t *testing.T) {
+	proc := frame.ProcID{Node: 2, Local: 9}
+	data := bytes.Repeat([]byte{1, 2, 3}, 100)
+	buf := EncodeCkChunk(nil, proc, 7, 2, 5, data)
+	h, got, err := DecodeCkChunk(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Kind != batchKindCkChunk || h.Proc != proc || h.Gen != 7 || h.Seq != 2 || h.Count != 5 {
+		t.Fatalf("header = %+v", h)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("chunk data mismatch")
+	}
+	// Chunk payloads alias the buffer too.
+	got[0] ^= 0xFF
+	if buf[batchHeaderLen] != got[0] {
+		t.Fatal("chunk data does not alias the buffer")
+	}
+	if _, _, err := DecodeCkChunk(encodeSampleBatch(sampleRecs())); err == nil {
+		t.Fatal("records batch accepted as chunk")
+	}
+}

@@ -203,6 +203,16 @@ const linkLen = 4 + 4 + 2 + 4 + 1
 // checksumLen is the trailing rotating checksum.
 const checksumLen = 4
 
+// MTU is the largest frame the simulated media carry, the classic Ethernet
+// maximum the paper's 10 Mb network used.
+const MTU = 1500
+
+// MaxBody is the largest Body that fits in one MTU-sized frame alongside
+// the header, a passed link, and the checksum. Senders that pack multiple
+// records into one frame (the recovery replay pipeline) size their batches
+// against this.
+const MaxBody = MTU - headerLen - linkLen - checksumLen
+
 // WireLen returns the number of bytes this frame occupies on the medium,
 // used by the media simulations to compute transmission time. Acks and
 // tokens are minimal frames.

@@ -129,6 +129,20 @@ type Config struct {
 	// exercising publish-before-use.
 	StoreFailProb float64
 
+	// ReplayWindow is how many replay batches a recovery keeps in flight
+	// before waiting for the kernel's cumulative batch acknowledgement
+	// (<= 0 means 1: stop-and-wait).
+	ReplayWindow int
+	// ReplayBatchBytes bounds a replay batch's encoded body (and the size
+	// of one checkpoint catch-up chunk); <= 0 means frame.MaxBody, one MTU.
+	// Setting it to 1 forces one message per batch — the serial ablation.
+	ReplayBatchBytes int
+	// RouteRepeats is how many times a routing update is broadcast after a
+	// migration or spare-node recovery (unguaranteed traffic, so repeats
+	// cover loss). 0 means the default of 3; negative means none — kernels
+	// then depend entirely on home-node forwarding.
+	RouteRepeats int
+
 	// Multiple-recorder support (§6.3). Peers lists the other recorders'
 	// procs in rank order (this recorder's own slot removed); Rank is this
 	// recorder's position in the combined order. Priority, when set, maps
@@ -145,14 +159,17 @@ type Config struct {
 // DefaultConfig returns simulation defaults for a recorder at node.
 func DefaultConfig(node frame.NodeID, watched []frame.NodeID) Config {
 	return Config{
-		Node:          node,
-		Proc:          frame.ProcID{Node: node, Local: 1},
-		Nodes:         watched,
-		Mode:          ModeMediaLayer,
-		WatchInterval: 500 * simtime.Millisecond,
-		MissThreshold: 3,
-		ReplayGrace:   200 * simtime.Millisecond,
-		RecoveryRetry: 20 * simtime.Second,
+		Node:             node,
+		Proc:             frame.ProcID{Node: node, Local: 1},
+		Nodes:            watched,
+		Mode:             ModeMediaLayer,
+		WatchInterval:    500 * simtime.Millisecond,
+		MissThreshold:    3,
+		ReplayGrace:      200 * simtime.Millisecond,
+		RecoveryRetry:    20 * simtime.Second,
+		ReplayWindow:     4,
+		ReplayBatchBytes: frame.MaxBody,
+		RouteRepeats:     3,
 	}
 }
 
@@ -171,6 +188,8 @@ type Stats struct {
 	RecoveriesStarted   uint64
 	RecoveriesCompleted uint64
 	MessagesReplayed    uint64
+	ReplayBatches       uint64
+	CkChunksSent        uint64
 	RecorderAcksSent    uint64
 	MissedArrivals      uint64
 	StoreFailures       uint64
@@ -256,8 +275,12 @@ type Recorder struct {
 
 	watch      map[frame.NodeID]*watchState
 	recovering map[frame.ProcID]*recoveryProc
-	waiters    map[uint32]func(f *frame.Frame)
-	nextCode   uint32
+	// replaying holds each live recovery's pipelined batch sender, so a
+	// superseding attempt (or process destruction) can withdraw its
+	// in-flight frames and orphan its reply waiters.
+	replaying map[frame.ProcID]*batchSender
+	waiters   map[uint32]func(f *frame.Frame)
+	nextCode  uint32
 
 	// §6.3 restart catch-up state.
 	catchingUp bool
@@ -302,6 +325,7 @@ func New(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log
 		preLastSent: make(map[frame.ProcID]uint64),
 		watch:       make(map[frame.NodeID]*watchState),
 		recovering:  make(map[frame.ProcID]*recoveryProc),
+		replaying:   make(map[frame.ProcID]*batchSender),
 		waiters:     make(map[uint32]func(*frame.Frame)),
 		noticeSeen:  newGenSet(noticeSeenLimit),
 		nextCode:    1,
@@ -579,6 +603,7 @@ func (r *Recorder) handleNotice(n *demos.Notice) {
 	case demos.NoticeDestroyed:
 		delete(r.preArrivals, n.Proc)
 		delete(r.preLastSent, n.Proc)
+		r.cancelReplay(n.Proc)
 		if r.catchingUp {
 			delete(r.awaitCk, n.Proc)
 			r.checkCaughtUp()
@@ -618,7 +643,7 @@ func (r *Recorder) handleNotice(n *demos.Notice) {
 		if e := r.db[n.Proc]; e != nil && !e.Dead {
 			e.Node = n.Node
 			r.persistProcMeta(e)
-			r.broadcastRoute(n.Proc, n.Node, 3)
+			r.broadcastRoute(n.Proc, n.Node, r.routeRepeats())
 			r.log.Add(trace.KindRecorder, int(r.cfg.Node), n.Proc.String(), "migrated to n%d", n.Node)
 		}
 

@@ -1,6 +1,8 @@
 package recorder
 
 import (
+	"sort"
+
 	"publishing/internal/demos"
 	"publishing/internal/frame"
 	"publishing/internal/simtime"
@@ -142,12 +144,29 @@ func (r *Recorder) actOnCrash(w *watchState) {
 }
 
 // recoverNode starts recovery of every process located on failed, placing
-// them on target (== failed for same-processor recovery).
+// them on target (== failed for same-processor recovery). The entries are
+// sorted by process id before launch: map iteration order is randomized,
+// and the launch order fixes how the recoveries' batch streams interleave
+// on the shared transport, so determinism requires a canonical order. Each
+// process gets its own windowed batch sender; their refills alternate as
+// acks return, a round-robin interleave rather than one process's full
+// stream before the next.
 func (r *Recorder) recoverNode(failed, target frame.NodeID) {
+	var procs []*procEntry
 	for _, e := range r.db {
 		if e.Node == failed && !e.Dead {
-			r.startRecovery(e, target)
+			procs = append(procs, e)
 		}
+	}
+	sort.Slice(procs, func(i, j int) bool {
+		a, b := procs[i].Proc, procs[j].Proc
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Local < b.Local
+	})
+	for _, e := range procs {
+		r.startRecovery(e, target)
 	}
 }
 
@@ -170,6 +189,10 @@ func (r *Recorder) startRecovery(e *procEntry, target frame.NodeID) {
 		rp = &recoveryProc{proc: e.Proc}
 		r.recovering[e.Proc] = rp
 	}
+	// A relaunch supersedes any in-flight replay of the previous attempt:
+	// withdraw its unsent batches and orphan its reply waiters before the
+	// generation bump makes them stale.
+	r.cancelReplay(e.Proc)
 	rp.gen++
 	rp.target = target
 	gen := rp.gen
@@ -177,12 +200,15 @@ func (r *Recorder) startRecovery(e *procEntry, target frame.NodeID) {
 	if e.Node != target {
 		e.Node = target
 		r.persistProcMeta(e)
-		r.broadcastRoute(e.Proc, target, 3)
+		r.broadcastRoute(e.Proc, target, r.routeRepeats())
 	}
 	r.stats.RecoveriesStarted++
+	// len(e.Arrivals) is the replay count: reconstruct emits every arrival
+	// exactly once (advisories only reorder), so there is no need to build
+	// the whole ordered slice just to log its length.
 	r.log.Add(trace.KindRecoveryStart, int(r.cfg.Node), e.Proc.String(),
 		"recovery started (target n%d, %d messages to replay, checkpoint=%v)",
-		target, len(reconstruct(e.Arrivals, e.Advisories)), e.Checkpoint != nil)
+		target, len(e.Arrivals), e.Checkpoint != nil)
 
 	epoch := r.epoch
 	r.sched.After(r.cfg.ReplayGrace, func() {
@@ -225,57 +251,52 @@ func (r *Recorder) sendRecreate(e *procEntry, rp *recoveryProc, gen uint64) {
 		Proc:         e.Proc,
 		FirstSendSeq: 1,
 		LastSentSeq:  e.LastSent,
+		RecoveryGen:  gen,
 	}
 	if e.Checkpoint != nil {
-		ctl.Checkpoint = e.Checkpoint
 		ctl.FirstSendSeq = e.CkSendSeq + 1
 		ctl.ReadCount = e.CkReadCount
+		if budget := r.replayBudget(); len(e.Checkpoint) > budget {
+			// Catch-up transfer: a checkpoint too big for one frame ships as
+			// MTU-sized chunks on the replay channel ahead of the recreate.
+			// The transport's per-node-pair FIFO guarantees the kernel has
+			// staged every chunk before it sees the recreate that assembles
+			// them, so no handshake is needed.
+			total := (len(e.Checkpoint) + budget - 1) / budget
+			for i := 0; i < total; i++ {
+				lo := i * budget
+				hi := lo + budget
+				if hi > len(e.Checkpoint) {
+					hi = len(e.Checkpoint)
+				}
+				body := demos.EncodeCkChunk(nil, e.Proc, gen, uint64(i), uint32(total), e.Checkpoint[lo:hi])
+				r.sendReplay(rp.target, body, nil)
+				r.stats.CkChunksSent++
+			}
+			ctl.CkChunks = uint32(total)
+		} else {
+			ctl.Checkpoint = e.Checkpoint
+		}
 	}
 	r.sendCtl(rp.target, frame.ProcID{Node: rp.target, Local: 0}, false, ctl, chanCtlReply, func(f *frame.Frame) {
 		if r.crashed || !r.current(rp, gen) {
 			return
 		}
 		rep, err := demos.DecodeReply(f.Body)
-		if err != nil || !rep.OK {
-			r.log.Add(trace.KindRecoveryStart, int(r.cfg.Node), e.Proc.String(), "recreate failed: %v %v", err, rep)
+		if err != nil {
+			// An undecodable reply says nothing about the kernel's decision;
+			// rep is meaningless here and must not be consulted.
+			r.log.Add(trace.KindRecoveryStart, int(r.cfg.Node), e.Proc.String(),
+				"recreate reply undecodable: %v", err)
 			return // the retry timer will reinitiate
 		}
-		r.replayAll(e, rp, gen)
-	})
-}
-
-// replayAll reenacts the published stream: "It then reads all the published
-// messages and resends them to the process" (§4.7). Transport ordering
-// (FIFO per node pair) delivers them in exactly this sequence.
-func (r *Recorder) replayAll(e *procEntry, rp *recoveryProc, gen uint64) {
-	order := reconstruct(e.Arrivals, e.Advisories)
-	for _, sm := range order {
-		ctl := &demos.CtlMsg{
-			Op:            demos.OpReplayMsg,
-			Proc:          e.Proc,
-			ReplayID:      sm.ID,
-			ReplayFrom:    sm.From,
-			ReplayChannel: sm.Channel,
-			ReplayCode:    sm.Code,
-			ReplayBody:    sm.Body,
-			ReplayLink:    sm.Link,
+		if !rep.OK {
+			r.log.Add(trace.KindRecoveryStart, int(r.cfg.Node), e.Proc.String(),
+				"recreate refused by kernel: %s", rep.Err)
+			return // the retry timer will reinitiate
 		}
-		r.sendCtl(rp.target, frame.ProcID{Node: rp.target, Local: 0}, false, ctl, 0, nil)
-		r.stats.MessagesReplayed++
-		r.log.Add(trace.KindReplay, int(r.cfg.Node), e.Proc.String(), "replaying %s", sm.ID)
-	}
-	// "After the recovery process has sent the last published message, it
-	// sends a message ... that the process is now recovered" (§4.7).
-	r.sendCtl(rp.target, frame.ProcID{Node: rp.target, Local: 0}, false,
-		&demos.CtlMsg{Op: demos.OpRecoveryDone, Proc: e.Proc}, chanCtlReply, func(f *frame.Frame) {
-			if r.crashed || !r.current(rp, gen) {
-				return
-			}
-			e.Recovering = false
-			delete(r.recovering, e.Proc)
-			r.stats.RecoveriesCompleted++
-			r.log.Add(trace.KindRecoveryDone, int(r.cfg.Node), e.Proc.String(), "recovered on n%d", rp.target)
-		})
+		r.startReplay(e, rp, gen)
+	})
 }
 
 // broadcastRoute tells every kernel where a process now lives (migration /
@@ -283,6 +304,9 @@ func (r *Recorder) replayAll(e *procEntry, rp *recoveryProc, gen uint64) {
 // out unguaranteed (§4.3.3) and is repeated a few times; kernels that miss
 // it still forward through the home node.
 func (r *Recorder) broadcastRoute(p frame.ProcID, node frame.NodeID, times int) {
+	if times <= 0 {
+		return
+	}
 	body := demos.EncodeRouteUpdate(p, node)
 	for i := 0; i < times; i++ {
 		delay := simtime.Time(i) * 50 * simtime.Millisecond
@@ -320,6 +344,7 @@ func (r *Recorder) Crash() {
 	r.catchingUp = false
 	r.awaitCk = nil
 	r.recovering = make(map[frame.ProcID]*recoveryProc)
+	r.replaying = make(map[frame.ProcID]*batchSender)
 	r.waiters = make(map[uint32]func(*frame.Frame))
 	for _, w := range r.watch {
 		w.gotPong, w.misses = false, 0

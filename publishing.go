@@ -157,6 +157,16 @@ type Config struct {
 	// RebootDelay is how long a crashed node takes to come back when the
 	// recovery decision is recover-on-same.
 	RebootDelay simtime.Time
+	// ReplayWindow is how many replay batches recovery keeps in flight
+	// (0 = recorder default of 4; 1 = stop-and-wait).
+	ReplayWindow int
+	// ReplayBatchBytes bounds a replay batch's body (0 = one MTU; 1 = one
+	// message per batch, the serial-replay ablation).
+	ReplayBatchBytes int
+	// RouteRepeats is how many routing-update broadcasts follow a migration
+	// or spare-node recovery (0 = recorder default of 3; negative = none,
+	// leaving delivery to home-node forwarding).
+	RouteRepeats int
 
 	// CheckpointPolicy and CheckpointTick drive automatic checkpointing.
 	CheckpointPolicy CheckpointPolicyKind
@@ -302,6 +312,15 @@ func New(cfg Config) *Cluster {
 			}
 			if cfg.MissThreshold > 0 {
 				rcfg.MissThreshold = cfg.MissThreshold
+			}
+			if cfg.ReplayWindow > 0 {
+				rcfg.ReplayWindow = cfg.ReplayWindow
+			}
+			if cfg.ReplayBatchBytes > 0 {
+				rcfg.ReplayBatchBytes = cfg.ReplayBatchBytes
+			}
+			if cfg.RouteRepeats != 0 {
+				rcfg.RouteRepeats = cfg.RouteRepeats
 			}
 			rcfg.OnProcessorCrash = cfg.OnProcessorCrash
 			rcfg.RebootFn = func(n NodeID) {

@@ -1,0 +1,190 @@
+package publishing
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"publishing/internal/simtime"
+)
+
+// replayDigest runs the standard pipeline with a mid-stream worker crash and
+// returns a sweep-style digest of everything the computation can observe:
+// the witness's exact delivery sequence plus the replay counters. Replay
+// transport details (batch sizes, windows) must never show up here — only
+// order and content.
+func replayDigest(t *testing.T, tune func(*Config)) []byte {
+	t.Helper()
+	cfg := DefaultConfig(3)
+	if tune != nil {
+		tune(&cfg)
+	}
+	c, sink, worker := buildScenario(t, cfg, 16)
+	c.Scheduler().At(1500*simtime.Millisecond, func() { c.CrashProcess(worker) })
+	c.Run(90 * simtime.Second)
+	expectSteps(t, sink, 16)
+	var buf bytes.Buffer
+	for _, m := range sink.msgs {
+		fmt.Fprintln(&buf, m)
+	}
+	rs := c.Recorder().Stats()
+	fmt.Fprintf(&buf, "replayed=%d recoveries=%d\n", rs.MessagesReplayed, rs.RecoveriesCompleted)
+	return buf.Bytes()
+}
+
+// Batching is a transport optimization, not a semantics change: the batched
+// pipeline must deliver the replayed stream in exactly the order and content
+// the serial one-message-per-frame ablation does, for the same (config,
+// seed) — and each variant must be deterministic in its own right.
+func TestBatchedReplayMatchesSerialDigest(t *testing.T) {
+	serialize := func(cfg *Config) {
+		cfg.ReplayWindow = 1
+		cfg.ReplayBatchBytes = 1 // one message per batch: the serial ablation
+	}
+	batched := replayDigest(t, nil)
+	serial := replayDigest(t, serialize)
+	if !bytes.Equal(batched, serial) {
+		t.Fatalf("batched and serial replay digests diverge:\nbatched:\n%s\nserial:\n%s", batched, serial)
+	}
+	if again := replayDigest(t, nil); !bytes.Equal(batched, again) {
+		t.Fatal("batched replay is not deterministic across runs of the same seed")
+	}
+}
+
+// A recursive crash (§3.5) mid-replay: the second fault arrives while
+// replay batches from the first recovery attempt are still in flight. The
+// kernel must drop the stale generation's batches instead of feeding them
+// to the new incarnation, and the computation still completes exactly-once.
+func TestRecursiveCrashMidBatch(t *testing.T) {
+	cfg := DefaultConfig(3)
+	// Small batches: the first attempt's replay spans several frames, so
+	// some are guaranteed to be in flight when the second crash lands.
+	cfg.ReplayBatchBytes = 96
+	c, sink, worker := buildScenario(t, cfg, 20)
+	c.Scheduler().At(3*simtime.Second, func() { c.CrashProcess(worker) })
+	if !c.RunUntil(func() bool { return c.Recorder().Stats().ReplayBatches >= 1 }, 60*simtime.Second) {
+		t.Fatal("first recovery never started replaying")
+	}
+	// Replay has begun but not finished: crash the half-recovered process.
+	c.CrashProcess(worker)
+	c.Run(120 * simtime.Second)
+	expectSteps(t, sink, 20)
+	rs := c.Recorder().Stats()
+	if rs.RecoveriesStarted < 2 {
+		t.Fatalf("recoveries started = %d, want >= 2 (recursive crash must relaunch)", rs.RecoveriesStarted)
+	}
+	if rs.RecoveriesCompleted == 0 {
+		t.Fatal("recovery never completed after the recursive crash")
+	}
+	if got := c.Kernel(1).Stats().StaleReplayDropped; got == 0 {
+		t.Fatal("no stale replay frames dropped; the test never exercised generation supersession")
+	}
+}
+
+// With routing updates suppressed entirely (RouteRepeats < 0), a kernel
+// that never hears where a process migrated must still reach it: sends go
+// to the process's home node, whose kernel forwards them (§7.1's fallback
+// path). The pipeline completes with zero routing broadcasts.
+func TestMigrationWithoutRouteUpdatesUsesHomeForwarding(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.RouteRepeats = -1
+	c, sink, worker := buildScenario(t, cfg, 12)
+	migrated := false
+	c.Scheduler().At(1300*simtime.Millisecond, func() {
+		if err := c.Migrate(worker, 2); err != nil {
+			t.Errorf("migrate: %v", err)
+			return
+		}
+		migrated = true
+	})
+	c.Run(60 * simtime.Second)
+	if !migrated {
+		t.Fatal("migration never ran")
+	}
+	expectSteps(t, sink, 12)
+	if fwd := c.Kernel(1).Stats().MsgsForwarded; fwd == 0 {
+		t.Fatal("home node forwarded nothing; producer must have learned the route some other way")
+	}
+}
+
+// padWorkerState is workerState plus a multi-KB incompressible pad, so its
+// checkpoint cannot fit one frame and must travel as chunks. The inner state
+// is a named field, not embedded: gob skips embedded fields whose (type)
+// name is unexported, which would silently drop the counters.
+type padWorkerState struct {
+	W   workerState
+	Pad []byte
+}
+
+// A checkpoint bigger than one MTU ships as a chunked catch-up transfer on
+// the replay channel; the kernel reassembles it before the recreate and the
+// process resumes from the full state.
+func TestChunkedCheckpointTransfer(t *testing.T) {
+	cfg := DefaultConfig(3)
+	c := New(cfg)
+	sink := &witnessSink{}
+	registerWitness(c, sink)
+	pad := make([]byte, 5000)
+	for i := range pad {
+		pad[i] = byte(i*7 + 3)
+	}
+	c.Registry().RegisterMachine("worker", func(args []byte) Machine {
+		st := &padWorkerState{Pad: pad}
+		return &testMachine{
+			init: func(ctx *PCtx) {
+				if lid, err := ctx.ServiceLink("witness"); err == nil {
+					st.W.Witness, st.W.HasOut = lid, true
+				}
+			},
+			handle: func(ctx *PCtx, m Msg) {
+				st.W.Count++
+				st.W.Sum += int(m.Body[0])
+				if st.W.HasOut {
+					_ = ctx.Send(st.W.Witness, []byte(fmt.Sprintf("step=%d sum=%d", st.W.Count, st.W.Sum)), NoLink)
+				}
+			},
+			snap: func() ([]byte, error) { return gobEnc(st) },
+			rest: func(b []byte) error {
+				if err := gobDec(b, st); err != nil {
+					return err
+				}
+				if !bytes.Equal(st.Pad, pad) {
+					return fmt.Errorf("pad corrupted across chunked checkpoint restore")
+				}
+				return nil
+			},
+		}
+	})
+	registerProducer(c, 14, 200*simtime.Millisecond)
+	wit, err := c.Spawn(2, ProcSpec{Name: "witness", Recoverable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetService("witness", wit)
+	worker, err := c.Spawn(1, ProcSpec{Name: "worker", Recoverable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetService("worker", worker)
+	if _, err := c.Spawn(0, ProcSpec{Name: "producer", Recoverable: true}); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().At(1500*simtime.Millisecond, func() { _, _ = c.Kernel(1).CheckpointNow(worker) })
+	c.Scheduler().At(2*simtime.Second, func() { c.CrashProcess(worker) })
+	c.Run(90 * simtime.Second)
+	expectSteps(t, sink, 14)
+	rs := c.Recorder().Stats()
+	if rs.CheckpointsStored == 0 {
+		t.Fatal("checkpoint never stored; nothing to chunk")
+	}
+	if rs.CkChunksSent < 2 {
+		t.Fatalf("checkpoint chunks sent = %d, want >= 2 (a ~5 KB checkpoint spans multiple MTUs)", rs.CkChunksSent)
+	}
+	if rs.RecoveriesCompleted == 0 {
+		t.Fatal("recovery from the chunked checkpoint never completed")
+	}
+	// The replay basis is the checkpoint, not the initial image.
+	if rs.MessagesReplayed >= 14 {
+		t.Fatalf("replayed %d messages; the checkpoint should have shortened replay", rs.MessagesReplayed)
+	}
+}
