@@ -18,9 +18,11 @@ test:
 
 # The sweep engine runs simulations on real goroutines and the stable store
 # claims concurrency safety (starhub drives it from multiple connections):
-# both stay race-checked.
+# both stay race-checked, plus a fast subset of the single-threaded core so
+# accidental shared state in new instrumentation gets caught early.
 race:
-	$(GO) test -race ./internal/sweep ./internal/stablestore
+	$(GO) test -race ./internal/sweep ./internal/stablestore \
+		./internal/metrics ./internal/trace ./internal/frame ./internal/simtime
 
 # The parallel-vs-serial sweep determinism proof, without rewriting
 # BENCH_sweep.json (use `make sweep` to refresh the trajectory file).
@@ -30,9 +32,16 @@ sweep-verify:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
-# Regenerate the committed perf-trajectory snapshot (see DESIGN.md).
+# Print the perf-trajectory snapshot for BENCH_baseline.json. benchjson's -o
+# refuses to clobber an existing trajectory file, so regenerating the
+# committed baseline is an explicit `make bench-json OUT=BENCH_baseline.json`
+# after deleting it — or an -after update, never a silent overwrite.
 bench-json:
+ifdef OUT
+	$(GO) test -bench 'BenchmarkFrameEncodeDecode|BenchmarkStableStoreAppend|BenchmarkRecorderPublish|BenchmarkClusterThroughput' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson -o $(OUT)
+else
 	$(GO) test -bench 'BenchmarkFrameEncodeDecode|BenchmarkStableStoreAppend|BenchmarkRecorderPublish|BenchmarkClusterThroughput' -benchmem -run '^$$' . | $(GO) run ./cmd/benchjson
+endif
 
 # Refresh the "after" half of the recovery-path trajectory (BENCH_recovery.json
 # keeps the pre-batching numbers as its "before") and print the deltas.

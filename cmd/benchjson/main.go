@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem -run=^$ . | go run ./cmd/benchjson > BENCH_baseline.json
+//	go test -bench=. -benchmem -run=^$ . | go run ./cmd/benchjson -o BENCH_baseline.json
 //	go test -bench=. -run=^$ . | go run ./cmd/benchjson -after BENCH_recovery.json
 //	go run ./cmd/benchjson -diff old.json new.json
 //	go run ./cmd/benchjson -diff BENCH_recovery.json
@@ -11,9 +11,14 @@
 // Only benchmark result lines are parsed; everything else (ok lines, logs)
 // is ignored, so piping a whole test run through is fine.
 //
-// -after updates the "after" half of a before/after pair file in place,
-// preserving its "before" half (a plain snapshot file is adopted as the
-// before). -diff prints per-benchmark deltas between two snapshots, or
+// -o writes the snapshot to a file instead of stdout, but refuses to
+// clobber an existing trajectory file: updating one in place is what
+// -after is for (-force overrides). -after updates the "after" half of a
+// before/after pair file in place, preserving its "before" half (a plain
+// snapshot file is adopted as the before). -metrics FILE embeds a metrics
+// snapshot (the WriteJSON export of a run's registry) into the output, so
+// a trajectory records what the counters looked like alongside the
+// timings. -diff prints per-benchmark deltas between two snapshots, or
 // between the halves of a single pair file.
 package main
 
@@ -42,6 +47,9 @@ type Bench struct {
 type Snapshot struct {
 	Note       string  `json:"note,omitempty"`
 	Benchmarks []Bench `json:"benchmarks"`
+	// Metrics is an optional embedded metrics-registry export (-metrics),
+	// recorded alongside the timings but never diffed.
+	Metrics json.RawMessage `json:"metrics,omitempty"`
 }
 
 // Pair is a before/after trajectory file (BENCH_recovery.json).
@@ -52,31 +60,84 @@ type Pair struct {
 }
 
 func main() {
-	if len(os.Args) > 1 {
-		switch os.Args[1] {
+	args := os.Args[1:]
+	var (
+		outPath string
+		metPath string
+		force   bool
+	)
+loop:
+	for len(args) > 0 {
+		switch args[0] {
 		case "-diff":
-			runDiff(os.Args[2:])
+			runDiff(args[1:])
 			return
 		case "-after":
-			if len(os.Args) < 3 {
+			if len(args) < 2 {
 				fmt.Fprintln(os.Stderr, "benchjson: -after needs a pair-file path")
 				os.Exit(1)
 			}
-			runAfter(os.Args[2], strings.Join(os.Args[3:], " "))
+			runAfter(args[1], metPath, strings.Join(args[2:], " "))
 			return
+		case "-o":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -o needs a path")
+				os.Exit(1)
+			}
+			outPath = args[1]
+			args = args[2:]
+		case "-metrics":
+			if len(args) < 2 {
+				fmt.Fprintln(os.Stderr, "benchjson: -metrics needs a file path")
+				os.Exit(1)
+			}
+			metPath = args[1]
+			args = args[2:]
+		case "-force":
+			force = true
+			args = args[1:]
+		default:
+			break loop
 		}
 	}
-	note := ""
-	if len(os.Args) > 1 {
-		note = strings.Join(os.Args[1:], " ")
-	}
-	snap := readBench(note)
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(snap); err != nil {
+	snap := readBench(strings.Join(args, " "))
+	snap.Metrics = loadMetrics(metPath)
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	data = append(data, '\n')
+	if outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if _, err := os.Stat(outPath); err == nil && !force {
+		fmt.Fprintf(os.Stderr, "benchjson: %s already exists; use -after to update a trajectory in place, or -force to overwrite\n", outPath)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// loadMetrics reads an embedded-metrics file ("" = none), requiring JSON —
+// the WriteJSON export of a registry, not the Prometheus text form.
+func loadMetrics(path string) json.RawMessage {
+	if path == "" {
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if !json.Valid(data) {
+		fmt.Fprintf(os.Stderr, "benchjson: %s is not JSON (use the metrics JSON export, not the text form)\n", path)
+		os.Exit(1)
+	}
+	return json.RawMessage(data)
 }
 
 // readBench parses `go test -bench` output on stdin into a snapshot.
@@ -127,8 +188,9 @@ func loadFile(path string) (Pair, bool) {
 // existing "before" (or adopting a plain snapshot file as the before). A
 // missing file starts a fresh trajectory: the measurement becomes both
 // halves until a later change moves the after.
-func runAfter(path string, note string) {
+func runAfter(path, metPath, note string) {
 	snap := readBench(note)
+	snap.Metrics = loadMetrics(metPath)
 	pair := Pair{Before: snap}
 	if _, err := os.Stat(path); err == nil {
 		pair, _ = loadFile(path)

@@ -14,10 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"time"
 
 	"publishing"
+	"publishing/internal/metrics"
 	"publishing/internal/simtime"
 	"publishing/internal/trace"
 )
@@ -33,16 +36,29 @@ func main() {
 		crashAt   = flag.Duration("crash-at", 1200*time.Millisecond, "when to inject the crash (virtual)")
 		showTrace = flag.Bool("trace", false, "stream the full event trace")
 		seed      = flag.Uint64("seed", 1, "determinism seed")
+		showMet   = flag.Bool("metrics", false, "print the unified metrics snapshot at the end")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
+		flight    = flag.Int("flight", 0, "flight-recorder mode: keep only the most recent N trace events")
 	)
 	flag.Parse()
 
 	cfg := publishing.DefaultConfig(*nodes)
 	cfg.Medium = publishing.MediumKind(*medium)
 	cfg.Seed = *seed
+	cfg.FlightRecorder = *flight
 	c := publishing.New(cfg)
-	if *showTrace {
+	if *traceOut != "" {
+		// Timelines need the per-message detail events (replay records,
+		// end-to-end acks) that are off by default.
+		c.Trace().SetDetailed(true)
+	}
+	switch {
+	case *showTrace:
 		c.Trace().SetSink(os.Stdout)
-	} else {
+	case *traceOut != "":
+		// The filter gates retention too; a timeline export needs every
+		// event, so keep the console quiet instead of filtering.
+	default:
 		c.Trace().SetFilter(func(e trace.Event) bool {
 			switch e.Kind {
 			case trace.KindCrash, trace.KindDetect, trace.KindRecoveryStart,
@@ -101,16 +117,60 @@ func main() {
 	c.Run(3 * publishing.Minute)
 
 	fmt.Printf("\nsink received %d/%d messages: %v\n", len(received), *msgs, received)
-	if r := c.Recorder(); r != nil {
-		s := r.Stats()
-		fmt.Printf("recorder: published=%d replayed=%d recoveries=%d/%d checkpoints=%d\n",
-			s.ArrivalsRecorded, s.MessagesReplayed, s.RecoveriesCompleted, s.RecoveriesStarted, s.CheckpointsStored)
+	// Every subsystem reports through the same registry, so the closing
+	// summary is one printer over one snapshot instead of per-type printfs.
+	snap := c.Metrics().Snapshot()
+	printSummary(os.Stdout, snap)
+	if *showMet {
+		fmt.Println()
+		if err := snap.WriteText(os.Stdout); err != nil {
+			die(err)
+		}
 	}
-	fmt.Printf("medium: %v\n", c.Medium().Stats())
-	for _, n := range c.Nodes() {
-		k := c.Kernel(n)
-		fmt.Printf("node %d: %d msgs sent, %d suppressed, kernel CPU %v\n",
-			n, k.Stats().MsgsSent, k.Stats().Suppressed, k.KernelCPU())
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		die(err)
+		err = c.Trace().WriteChrome(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		die(err)
+		fmt.Printf("wrote Chrome trace timeline to %s (open in Perfetto / chrome://tracing)\n", *traceOut)
+	}
+}
+
+// printSummary prints one line per (subsystem, node) group, skipping
+// zero-valued samples so the common case stays readable. Snapshot order is
+// (subsystem, name, node), so samples are bucketed per group first.
+func printSummary(w io.Writer, snap metrics.Snapshot) {
+	type group struct{ sub, node string }
+	var order []group
+	lines := map[group]string{}
+	for _, s := range snap.Samples {
+		if s.Value == 0 {
+			continue
+		}
+		g := group{s.Subsystem, ""}
+		if s.Node >= 0 {
+			g.node = fmt.Sprintf("[%d]", s.Node)
+		}
+		if _, ok := lines[g]; !ok {
+			order = append(order, g)
+		}
+		if s.Kind == metrics.KindHistogram.String() {
+			lines[g] += fmt.Sprintf(" %s{n=%d avg=%d}", s.Name, s.Value, s.Sum/s.Value)
+		} else {
+			lines[g] += fmt.Sprintf(" %s=%d", s.Name, s.Value)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].sub != order[j].sub {
+			return order[i].sub < order[j].sub
+		}
+		return order[i].node < order[j].node
+	})
+	for _, g := range order {
+		fmt.Fprintf(w, "%s%s:%s\n", g.sub, g.node, lines[g])
 	}
 }
 

@@ -29,8 +29,18 @@ func main() {
 		doSweep  = flag.Bool("sweep", false, "parallel deterministic seed sweep; writes -sweepout")
 		sweepOut = flag.String("sweepout", "BENCH_sweep.json", "trajectory file the sweep writes")
 		doVerify = flag.Bool("verify", false, "run the sweep determinism check without writing a trajectory file")
+		observe  = flag.Bool("observe", false, "crash-and-recover run that exports metrics + timeline")
+		metOut   = flag.String("metrics", "", "observe: write the metrics snapshot here (\"-\" = stdout)")
+		traceOut = flag.String("trace-out", "", "observe: write a Chrome trace-event JSON timeline here")
+		flight   = flag.Int("flight", 0, "observe: keep only the most recent N trace events")
+		seed     = flag.Uint64("seed", 1, "observe: determinism seed")
 	)
 	flag.Parse()
+	if *observe {
+		// Like the sweep, a tool run outside the default paper set.
+		runObserve(observeOpts{metricsOut: *metOut, traceOut: *traceOut, flight: *flight, seed: *seed})
+		return
+	}
 	if *doSweep || *doVerify {
 		// The sweep is a tool run, not one of the paper's experiments: it
 		// never joins the default "run everything" set.

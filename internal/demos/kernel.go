@@ -5,6 +5,7 @@ import (
 
 	"publishing/internal/frame"
 	"publishing/internal/lan"
+	"publishing/internal/metrics"
 	"publishing/internal/simtime"
 	"publishing/internal/trace"
 	"publishing/internal/transport"
@@ -31,6 +32,10 @@ type Env struct {
 	// process ids; PCtx.ServiceLink mints links to them. This is the
 	// kernel-granted initial-link rendezvous of §4.2.2.1 in shortcut form.
 	Services map[string]frame.ProcID
+	// Metrics, when non-nil, receives each kernel's counters, the total
+	// input-queue depth gauge, and the checkpoint-size histogram under
+	// subsystem "kernel".
+	Metrics *metrics.Registry
 }
 
 // KernelStats counts per-node kernel activity.
@@ -102,6 +107,10 @@ type Kernel struct {
 	replayRecs []ReplayRec
 
 	stats KernelStats
+	// qDepth tracks messages sitting in this node's process input queues;
+	// ckBytes observes checkpoint blob sizes.
+	qDepth  *metrics.Gauge
+	ckBytes *metrics.Histogram
 }
 
 // ckAssembly is one in-progress chunked checkpoint transfer.
@@ -119,6 +128,32 @@ func NewKernel(node frame.NodeID, env Env) *Kernel {
 		procs:     make(map[frame.ProcID]*process),
 		nextLocal: 1, // local id 0 is the kernel process
 		routing:   make(map[frame.ProcID]frame.NodeID),
+	}
+	if reg := env.Metrics; reg != nil {
+		n := int(node)
+		k.qDepth = reg.Gauge(n, "kernel", "queue_depth")
+		k.ckBytes = reg.Histogram(n, "kernel", "checkpoint_bytes")
+		s := &k.stats
+		reg.AddCollector(n, "kernel", func(emit func(string, int64)) {
+			emit("kernel_calls", int64(s.KernelCalls))
+			emit("msgs_sent", int64(s.MsgsSent))
+			emit("msgs_local", int64(s.MsgsLocal))
+			emit("msgs_delivered", int64(s.MsgsDelivered))
+			emit("msgs_refused", int64(s.MsgsRefused))
+			emit("msgs_forwarded", int64(s.MsgsForwarded))
+			emit("msgs_discarded", int64(s.MsgsDiscarded))
+			emit("suppressed", int64(s.Suppressed))
+			emit("advisories", int64(s.Advisories))
+			emit("checkpoints", int64(s.Checkpoints))
+			emit("procs_created", int64(s.ProcsCreated))
+			emit("procs_destroyed", int64(s.ProcsDestroyed))
+			emit("procs_crashed", int64(s.ProcsCrashed))
+			emit("replayed", int64(s.Replayed))
+			emit("replay_batches", int64(s.ReplayBatches))
+			emit("stale_replay_dropped", int64(s.StaleReplayDropped))
+			emit("kernel_cpu_ns", int64(k.kernelCPU))
+			emit("user_cpu_ns", int64(k.userCPU))
+		})
 	}
 	k.ep = transport.New(node, env.Medium, env.Sched, env.Log, env.Transport)
 	k.ep.Deliver = k.deliverFrame
@@ -299,6 +334,7 @@ func (k *Kernel) terminate(p *process, final runState) {
 	}
 	p.state = final
 	if final == psDead {
+		k.qDepth.Add(-int64(p.queue.len()))
 		delete(k.procs, p.id)
 	}
 }
@@ -351,6 +387,7 @@ func (k *Kernel) CrashNode() {
 		}
 	}
 	k.procs = make(map[frame.ProcID]*process)
+	k.qDepth.Set(0)
 	k.runq = nil
 	k.dispatchPending = false
 	k.ckStage = nil
@@ -561,6 +598,7 @@ func (k *Kernel) handleYield(p *process, y yieldMsg) {
 	case yExit:
 		p.finished = true
 		p.state = psDead
+		k.qDepth.Add(-int64(p.queue.len()))
 		delete(k.procs, p.id)
 		k.stats.ProcsDestroyed++
 		k.charge(k.env.Costs.DestroyCPU, 0)
@@ -673,6 +711,7 @@ func (k *Kernel) completeReceive(p *process, want []uint16) (callResp, bool) {
 	if !ok {
 		return callResp{}, false
 	}
+	k.qDepth.Add(-1)
 	msg := item.msg
 	msg.Link = NoLink
 	if item.link != nil {

@@ -128,7 +128,8 @@ func (k *Kernel) sendMessage(counter *process, from frame.ProcID, l frame.Link, 
 		}
 		k.ep.SendGuaranteed(f)
 	})
-	k.env.Log.Add(trace.KindSend, int(k.node), f.ID.String(), "%s", f)
+	id := f.ID.String()
+	k.env.Log.AddMsg(trace.KindSend, int(k.node), id, id, "%s", f)
 	return nil
 }
 
@@ -217,7 +218,8 @@ func (k *Kernel) pushToQueue(p *process, m Msg, link *frame.Link) {
 	p.msgsSinceCk++
 	p.bytesSinceCk += uint64(len(m.Body))
 	k.stats.MsgsDelivered++
-	k.env.Log.Add(trace.KindDeliver, int(k.node), p.id.String(), "queued %s ch=%d", m.ID, m.Channel)
+	k.qDepth.Add(1)
+	k.env.Log.AddMsg(trace.KindDeliver, int(k.node), m.ID.String(), p.id.String(), "queued ch=%d", m.Channel)
 	if p.state == psBlocked && p.queue.anyMatch(p.want) {
 		p.state = psReady
 		k.wake(p)

@@ -124,7 +124,7 @@ func (k *Kernel) handleControl(f *frame.Frame) bool {
 			Code:    ctl.ReplayCode,
 			Body:    ctl.ReplayBody,
 		}, ctl.ReplayLink)
-		k.env.Log.Add(trace.KindReplay, int(k.node), ctl.Proc.String(), "replayed %s", ctl.ReplayID)
+		k.env.Log.AddMsg(trace.KindReplay, int(k.node), ctl.ReplayID.String(), ctl.Proc.String(), "replayed")
 
 	case OpRecoveryDone:
 		p := k.procs[ctl.Proc]
@@ -227,6 +227,7 @@ func (k *Kernel) handleReplayBatch(f *frame.Frame, hdr ReplayBatchHdr) bool {
 		k.env.Log.Add(trace.KindReplay, int(k.node), hdr.Proc.String(), "bad replay batch: %v", err)
 		return true
 	}
+	detailed := k.env.Log.Detailed()
 	for i := range recs {
 		k.stats.Replayed++
 		k.pushToQueue(p, Msg{
@@ -236,6 +237,12 @@ func (k *Kernel) handleReplayBatch(f *frame.Frame, hdr ReplayBatchHdr) bool {
 			Code:    recs[i].Code,
 			Body:    recs[i].Body,
 		}, recs[i].Link)
+		if detailed {
+			// Per-record causal event: the replayed message carries its
+			// original id, tying the replay back to the pre-crash publish.
+			k.env.Log.AddMsg(trace.KindReplay, int(k.node), recs[i].ID.String(),
+				hdr.Proc.String(), "replayed from batch #%d", hdr.Seq)
+		}
 	}
 	p.replayBatch = hdr.Seq
 	k.stats.ReplayBatches++
@@ -353,6 +360,7 @@ func (k *Kernel) CheckpointNow(id frame.ProcID) (bool, error) {
 		return false, fmt.Errorf("demos: snapshot %s: %w", id, err)
 	}
 	blob := mustGob(&checkpointImage{Machine: mb, Links: p.links.snapshot()})
+	k.ckBytes.Observe(int64(len(blob)))
 	kb := (len(blob) + 1023) / 1024
 	k.charge(k.env.Costs.CheckpointPerKB*simtime.Time(kb), 0)
 	k.stats.Checkpoints++

@@ -96,7 +96,8 @@ func (m *Ether) attempt(tx *etherTx) {
 func (m *Ether) collide(tx *etherTx) {
 	m.stats.Collisions++
 	cur := m.cur
-	m.log.Add(trace.KindCollision, int(tx.src), tx.f.ID.String(),
+	id := tx.f.ID.String()
+	m.log.AddMsg(trace.KindCollision, int(tx.src), id, id,
 		"collision with %s from n%d", cur.f.ID, cur.src)
 	// Jam: the in-flight transmission is aborted.
 	m.sched.Cancel(cur.finish)
@@ -123,9 +124,11 @@ func (m *Ether) backoff(tx *etherTx) {
 	tx.attempts++
 	if tx.attempts >= m.maxAttempts {
 		m.stats.FramesLost++
-		m.log.Add(trace.KindDrop, int(tx.src), tx.f.ID.String(), "excessive collisions")
+		id := tx.f.ID.String()
+		m.log.AddMsg(trace.KindDrop, int(tx.src), id, id, "excessive collisions")
 		return
 	}
+	m.stats.Backoffs++
 	k := tx.attempts
 	if k > 10 {
 		k = 10
@@ -172,7 +175,8 @@ func (m *Ether) finish(tx *etherTx) {
 	}
 	if m.faults.LossProb > 0 && m.rng.Bool(m.faults.LossProb) {
 		m.stats.FramesLost++
-		m.log.Add(trace.KindDrop, int(tx.src), tx.f.ID.String(), "wire loss")
+		id := tx.f.ID.String()
+		m.log.AddMsg(trace.KindDrop, int(tx.src), id, id, "wire loss")
 		return
 	}
 	if tx.f.Corrupt {
@@ -184,7 +188,8 @@ func (m *Ether) finish(tx *etherTx) {
 		// Empty recorder-ack slot: every receiver discards the frame
 		// "exactly as if it had received a bad packet" (§6.1.1).
 		m.stats.RecorderBlocks++
-		m.log.Add(trace.KindDrop, int(tx.src), tx.f.ID.String(),
+		id := tx.f.ID.String()
+		m.log.AddMsg(trace.KindDrop, int(tx.src), id, id,
 			"no recorder ack in slot; receivers discard")
 		return
 	}

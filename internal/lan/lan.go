@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"publishing/internal/frame"
+	"publishing/internal/metrics"
 	"publishing/internal/simtime"
 	"publishing/internal/trace"
 )
@@ -165,6 +166,7 @@ type Stats struct {
 	FramesDelivered uint64
 	FramesLost      uint64
 	Collisions      uint64
+	Backoffs        uint64 // binary-exponential-backoff waits entered
 	TapMisses       uint64
 	RecorderBlocks  uint64 // frames receivers discarded for lack of recorder ack
 	BytesOnWire     uint64
@@ -172,8 +174,8 @@ type Stats struct {
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("sent=%d delivered=%d lost=%d collisions=%d tapMiss=%d recBlock=%d bytes=%d busy=%v",
-		s.FramesSent, s.FramesDelivered, s.FramesLost, s.Collisions, s.TapMisses, s.RecorderBlocks, s.BytesOnWire, s.BusyTime)
+	return fmt.Sprintf("sent=%d delivered=%d lost=%d collisions=%d backoffs=%d tapMiss=%d recBlock=%d bytes=%d busy=%v",
+		s.FramesSent, s.FramesDelivered, s.FramesLost, s.Collisions, s.Backoffs, s.TapMisses, s.RecorderBlocks, s.BytesOnWire, s.BusyTime)
 }
 
 // Utilization returns the fraction of the elapsed window the channel was
@@ -234,6 +236,28 @@ func (b *base) AttachTap(id frame.NodeID, t Tap) {
 
 func (b *base) Faults() *FaultPlan { return &b.faults }
 func (b *base) Stats() *Stats      { return &b.stats }
+
+// UseMetrics exposes the medium's counters through reg under subsystem
+// "lan" (node -1: the medium is not any one node's). Every concrete medium
+// inherits it; callers reach it through a type assertion so the Medium
+// interface stays minimal.
+func (b *base) UseMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	s := &b.stats
+	reg.AddCollector(-1, "lan", func(emit func(string, int64)) {
+		emit("frames_sent", int64(s.FramesSent))
+		emit("frames_delivered", int64(s.FramesDelivered))
+		emit("frames_lost", int64(s.FramesLost))
+		emit("collisions", int64(s.Collisions))
+		emit("backoffs", int64(s.Backoffs))
+		emit("tap_misses", int64(s.TapMisses))
+		emit("recorder_blocks", int64(s.RecorderBlocks))
+		emit("bytes_on_wire", int64(s.BytesOnWire))
+		emit("busy_time_ns", int64(s.BusyTime))
+	})
+}
 
 // offerToTaps lets every reachable tap observe the frame and reports
 // whether all reachable taps stored it and at least one tap is reachable.

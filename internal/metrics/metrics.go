@@ -1,0 +1,435 @@
+// Package metrics is the simulation's unified measurement registry — the
+// role Bart Miller's metering system played for the DEMOS/MP numbers in the
+// paper's Ch. 5. Every subsystem (lan, transport, recorder, store, kernel)
+// registers instruments or collectors keyed by (node, subsystem, name); a
+// snapshot is a deterministic, sorted list of samples that can be diffed
+// against an earlier snapshot, printed in Prometheus text exposition style,
+// or exported as JSON.
+//
+// Hot-path discipline: Counter/Gauge/Histogram updates are plain field
+// arithmetic on pre-allocated structs — no maps, no interfaces, no
+// allocation. Subsystems that already keep zero-alloc Stats structs expose
+// them through collectors, closures invoked only at snapshot time.
+//
+// All values are driven by virtual time (internal/simtime) and deterministic
+// event counts, so two runs with the same seed produce byte-identical
+// WriteText output — a property the repo's tests assert.
+//
+// A nil *Registry is safe everywhere: instrument constructors return nil and
+// every instrument method is a no-op on a nil receiver, so wiring code can
+// instrument unconditionally.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+)
+
+// numBuckets is the fixed histogram bucket count: power-of-two buckets
+// indexed by bits.Len64 cover the whole int64 range.
+const numBuckets = 64
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n (n must be non-negative for the diff semantics to hold).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is an instantaneous level (queue depth, window occupancy).
+type Gauge struct{ v int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Add moves the level by d (negative to decrease).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v += d
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram records a distribution of int64 observations (virtual-time
+// durations in nanoseconds, or sizes in bytes) in power-of-two buckets:
+// bucket 0 counts v <= 0, bucket i counts 2^(i-1) <= v < 2^i. Observation is
+// a bits.Len64, two adds, and an array increment — no allocation.
+type Histogram struct {
+	count   int64
+	sum     int64
+	buckets [numBuckets + 1]int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count++
+	h.sum += v
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Kind distinguishes instrument types in snapshots.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// key identifies one instrument.
+type key struct {
+	node      int
+	subsystem string
+	name      string
+}
+
+// entry is one registered instrument.
+type entry struct {
+	key  key
+	kind Kind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// collKey identifies one collector.
+type collKey struct {
+	node      int
+	subsystem string
+}
+
+// coll is one registered collector.
+type coll struct {
+	key collKey
+	fn  func(emit func(name string, v int64))
+}
+
+// Registry holds every instrument and collector for one simulation. It is
+// not safe for concurrent use; the simulation is single-threaded by design.
+type Registry struct {
+	byKey   map[key]*entry
+	entries []*entry
+	byColl  map[collKey]int // index into colls
+	colls   []*coll
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byKey:  make(map[key]*entry),
+		byColl: make(map[collKey]int),
+	}
+}
+
+// lookup returns the entry for k, creating it with kind if absent. Asking
+// for an existing name with a different kind is a wiring bug and panics.
+func (r *Registry) lookup(k key, kind Kind) *entry {
+	if e, ok := r.byKey[k]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %s/%s node %d registered as %v, requested as %v",
+				k.subsystem, k.name, k.node, e.kind, kind))
+		}
+		return e
+	}
+	e := &entry{key: k, kind: kind}
+	switch kind {
+	case KindCounter:
+		e.c = &Counter{}
+	case KindGauge:
+		e.g = &Gauge{}
+	case KindHistogram:
+		e.h = &Histogram{}
+	}
+	r.byKey[k] = e
+	r.entries = append(r.entries, e)
+	return e
+}
+
+// Counter returns the counter for (node, subsystem, name), creating it on
+// first use. Returns nil (a safe no-op instrument) on a nil registry.
+func (r *Registry) Counter(node int, subsystem, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(key{node, subsystem, name}, KindCounter).c
+}
+
+// Gauge returns the gauge for (node, subsystem, name).
+func (r *Registry) Gauge(node int, subsystem, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(key{node, subsystem, name}, KindGauge).g
+}
+
+// Histogram returns the histogram for (node, subsystem, name).
+func (r *Registry) Histogram(node int, subsystem, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(key{node, subsystem, name}, KindHistogram).h
+}
+
+// AddCollector registers fn to contribute counter samples for (node,
+// subsystem) at snapshot time — the bridge for subsystems that already keep
+// zero-alloc Stats structs. Re-registering the same (node, subsystem)
+// replaces the previous collector, so a restarted component never
+// double-reports.
+func (r *Registry) AddCollector(node int, subsystem string, fn func(emit func(name string, v int64))) {
+	if r == nil || fn == nil {
+		return
+	}
+	k := collKey{node, subsystem}
+	if i, ok := r.byColl[k]; ok {
+		r.colls[i].fn = fn
+		return
+	}
+	r.byColl[k] = len(r.colls)
+	r.colls = append(r.colls, &coll{key: k, fn: fn})
+}
+
+// Sample is one (node, subsystem, name) measurement in a snapshot.
+type Sample struct {
+	Node      int    `json:"node"`
+	Subsystem string `json:"subsystem"`
+	Name      string `json:"name"`
+	Kind      string `json:"kind"`
+	// Value is the count (counter), level (gauge), or observation count
+	// (histogram).
+	Value int64 `json:"value"`
+	// Sum is the histogram's sum of observations.
+	Sum int64 `json:"sum,omitempty"`
+	// Buckets are the histogram's per-bucket counts, trailing zeros
+	// trimmed: Buckets[0] counts v <= 0, Buckets[i] counts
+	// 2^(i-1) <= v < 2^i.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// Snapshot is a deterministic point-in-time reading of the whole registry,
+// sorted by (subsystem, name, node).
+type Snapshot struct {
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot reads every instrument and runs every collector. The result is
+// fully detached from the registry: diffing or serializing it later sees the
+// values as of this call.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, e := range r.entries {
+		smp := Sample{
+			Node:      e.key.node,
+			Subsystem: e.key.subsystem,
+			Name:      e.key.name,
+			Kind:      e.kind.String(),
+		}
+		switch e.kind {
+		case KindCounter:
+			smp.Value = e.c.v
+		case KindGauge:
+			smp.Value = e.g.v
+		case KindHistogram:
+			smp.Value = e.h.count
+			smp.Sum = e.h.sum
+			last := -1
+			for i, b := range e.h.buckets {
+				if b != 0 {
+					last = i
+				}
+			}
+			if last >= 0 {
+				smp.Buckets = append([]int64(nil), e.h.buckets[:last+1]...)
+			}
+		}
+		s.Samples = append(s.Samples, smp)
+	}
+	for _, c := range r.colls {
+		c.fn(func(name string, v int64) {
+			s.Samples = append(s.Samples, Sample{
+				Node:      c.key.node,
+				Subsystem: c.key.subsystem,
+				Name:      name,
+				Kind:      KindCounter.String(),
+				Value:     v,
+			})
+		})
+	}
+	sort.Slice(s.Samples, func(i, j int) bool {
+		a, b := &s.Samples[i], &s.Samples[j]
+		if a.Subsystem != b.Subsystem {
+			return a.Subsystem < b.Subsystem
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Node < b.Node
+	})
+	return s
+}
+
+// Sub returns the change from prev to s: counters and histograms subtract
+// the matching prev sample (absent = zero); gauges keep their current level.
+// Samples present only in prev are dropped.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	type sk struct {
+		node            int
+		subsystem, name string
+	}
+	old := make(map[sk]*Sample, len(prev.Samples))
+	for i := range prev.Samples {
+		p := &prev.Samples[i]
+		old[sk{p.Node, p.Subsystem, p.Name}] = p
+	}
+	out := Snapshot{Samples: make([]Sample, 0, len(s.Samples))}
+	for _, smp := range s.Samples {
+		if p := old[sk{smp.Node, smp.Subsystem, smp.Name}]; p != nil && smp.Kind != KindGauge.String() {
+			smp.Value -= p.Value
+			smp.Sum -= p.Sum
+			if len(smp.Buckets) > 0 {
+				bk := append([]int64(nil), smp.Buckets...)
+				for i := range bk {
+					if i < len(p.Buckets) {
+						bk[i] -= p.Buckets[i]
+					}
+				}
+				last := -1
+				for i, b := range bk {
+					if b != 0 {
+						last = i
+					}
+				}
+				smp.Buckets = bk[:last+1]
+			}
+		}
+		out.Samples = append(out.Samples, smp)
+	}
+	return out
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i (its `le` label
+// is upper-1, the largest value the bucket can hold).
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 1 // bucket 0 holds v <= 0
+	}
+	return int64(1) << uint(i)
+}
+
+// WriteText writes the snapshot in Prometheus text exposition style, one
+// series per line:
+//
+//	pub_<subsystem>_<name>{node="N"} value
+//
+// Histograms expand to cumulative buckets (le is the largest value the
+// bucket admits), a _sum, and a _count. Output order is the snapshot's
+// deterministic sort, so same-seed runs produce byte-identical text.
+func (s Snapshot) WriteText(w io.Writer) error {
+	for i := range s.Samples {
+		smp := &s.Samples[i]
+		base := "pub_" + smp.Subsystem + "_" + smp.Name
+		if smp.Kind != KindHistogram.String() {
+			if _, err := fmt.Fprintf(w, "%s{node=\"%d\"} %d\n", base, smp.Node, smp.Value); err != nil {
+				return err
+			}
+			continue
+		}
+		cum := int64(0)
+		for bi, b := range smp.Buckets {
+			cum += b
+			if b == 0 {
+				continue // keep the dump compact; cum still accumulates
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{node=\"%d\",le=\"%d\"} %d\n",
+				base, smp.Node, bucketUpper(bi)-1, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{node=\"%d\",le=\"+Inf\"} %d\n", base, smp.Node, smp.Value); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{node=\"%d\"} %d\n", base, smp.Node, smp.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{node=\"%d\"} %d\n", base, smp.Node, smp.Value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRegistryAndInstrumentsAreSafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter(0, "s", "c")
+	g := r.Gauge(0, "s", "g")
+	h := r.Histogram(0, "s", "h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry handed out live instruments")
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(9)
+	g.Add(-2)
+	h.Observe(123)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments kept state")
+	}
+	r.AddCollector(0, "s", func(emit func(string, int64)) { emit("x", 1) })
+	if snap := r.Snapshot(); len(snap.Samples) != 0 {
+		t.Fatal("nil registry produced samples")
+	}
+}
+
+func TestInstrumentIdentityAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter(1, "lan", "frames") != r.Counter(1, "lan", "frames") {
+		t.Fatal("same key returned different counters")
+	}
+	if r.Counter(1, "lan", "frames") == r.Counter(2, "lan", "frames") {
+		t.Fatal("different nodes shared a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge(1, "lan", "frames")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// bucket 0: v <= 0; bucket i: 2^(i-1) <= v < 2^i.
+	for _, v := range []int64{-3, 0, 1, 2, 3, 4, 1024} {
+		h.Observe(v)
+	}
+	want := map[int]int64{0: 2, 1: 1, 2: 2, 3: 1, 11: 1}
+	for i, n := range h.buckets {
+		if n != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, n, want[i])
+		}
+	}
+	if h.Count() != 7 || h.Sum() != -3+1+2+3+4+1024 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestSnapshotSortedAndDetached(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(2, "lan", "b").Inc()
+	r.Counter(0, "lan", "b").Add(3)
+	r.Gauge(1, "kernel", "depth").Set(4)
+	r.Histogram(0, "recorder", "lat").Observe(100)
+
+	snap := r.Snapshot()
+	var got []string
+	for _, s := range snap.Samples {
+		got = append(got, s.Subsystem+"/"+s.Name)
+	}
+	want := []string{"kernel/depth", "lan/b", "lan/b", "recorder/lat"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if snap.Samples[1].Node != 0 || snap.Samples[2].Node != 2 {
+		t.Fatal("node tiebreak wrong")
+	}
+	// Later updates must not leak into the detached snapshot.
+	r.Counter(0, "lan", "b").Add(10)
+	r.Histogram(0, "recorder", "lat").Observe(100)
+	if snap.Samples[1].Value != 3 || snap.Samples[3].Value != 1 {
+		t.Fatal("snapshot not detached from registry")
+	}
+}
+
+func TestCollectorReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.AddCollector(3, "transport", func(emit func(string, int64)) { emit("sent", 1) })
+	// A restarted component re-registers; the old closure must not report.
+	r.AddCollector(3, "transport", func(emit func(string, int64)) { emit("sent", 42) })
+	snap := r.Snapshot()
+	if len(snap.Samples) != 1 || snap.Samples[0].Value != 42 {
+		t.Fatalf("samples = %+v", snap.Samples)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(0, "s", "c")
+	g := r.Gauge(0, "s", "g")
+	h := r.Histogram(0, "s", "h")
+	c.Add(5)
+	g.Set(7)
+	h.Observe(2)
+	before := r.Snapshot()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(2)
+	h.Observe(1000)
+	diff := r.Snapshot().Sub(before)
+
+	byName := map[string]Sample{}
+	for _, s := range diff.Samples {
+		byName[s.Name] = s
+	}
+	if byName["c"].Value != 3 {
+		t.Fatalf("counter diff = %d", byName["c"].Value)
+	}
+	if byName["g"].Value != 1 {
+		t.Fatalf("gauge diff kept level: %d", byName["g"].Value)
+	}
+	hs := byName["h"]
+	if hs.Value != 2 || hs.Sum != 1002 {
+		t.Fatalf("histogram diff count=%d sum=%d", hs.Value, hs.Sum)
+	}
+	// The pre-existing observation of 2 cancels; only one new 2 and the
+	// 1000 remain.
+	var total int64
+	for _, b := range hs.Buckets {
+		total += b
+	}
+	if total != 2 {
+		t.Fatalf("bucket diff total = %d", total)
+	}
+}
+
+func TestWriteTextDeterministicAndWellFormed(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter(1, "lan", "frames_sent").Add(10)
+		r.Gauge(0, "kernel", "queue_depth").Set(3)
+		h := r.Histogram(2, "transport", "ack_rtt_ns")
+		h.Observe(100)
+		h.Observe(100)
+		h.Observe(3000)
+		return r
+	}
+	var a, b bytes.Buffer
+	if err := build().Snapshot().WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("identical registries produced different text")
+	}
+	out := a.String()
+	for _, want := range []string{
+		`pub_lan_frames_sent{node="1"} 10`,
+		`pub_kernel_queue_depth{node="0"} 3`,
+		`pub_transport_ack_rtt_ns_bucket{node="2",le="127"} 2`,
+		`pub_transport_ack_rtt_ns_bucket{node="2",le="4095"} 3`,
+		`pub_transport_ack_rtt_ns_bucket{node="2",le="+Inf"} 3`,
+		`pub_transport_ack_rtt_ns_sum{node="2"} 3200`,
+		`pub_transport_ack_rtt_ns_count{node="2"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(0, "s", "c").Add(4)
+	r.Histogram(1, "s", "h").Observe(9)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Samples) != 2 || back.Samples[0].Value != 4 || back.Samples[1].Kind != "histogram" {
+		t.Fatalf("round trip lost data: %+v", back.Samples)
+	}
+}
+
+func TestHotPathDoesNotAllocate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(0, "s", "c")
+	g := r.Gauge(0, "s", "g")
+	h := r.Histogram(0, "s", "h")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(12345)
+	})
+	if allocs != 0 {
+		t.Fatalf("hot path allocated %.0f times per run", allocs)
+	}
+}

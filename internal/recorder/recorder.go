@@ -25,6 +25,7 @@ import (
 	"publishing/internal/demos"
 	"publishing/internal/frame"
 	"publishing/internal/lan"
+	"publishing/internal/metrics"
 	"publishing/internal/simtime"
 	"publishing/internal/stablestore"
 	"publishing/internal/trace"
@@ -154,6 +155,11 @@ type Config struct {
 	Priority     func(node frame.NodeID) []int
 	ClaimTimeout simtime.Time
 	NoticeProcs  []frame.ProcID
+
+	// Metrics, when non-nil, receives the recorder's counters (subsystem
+	// "recorder"), the stable store's (subsystem "store"), the publish
+	// latency histogram, and the replay window occupancy gauge.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns simulation defaults for a recorder at node.
@@ -301,6 +307,11 @@ type Recorder struct {
 	smFree []*storedMsg
 
 	stats Stats
+	// publishLat observes tap-hear to publish (arrival recorded) latency in
+	// virtual nanoseconds; replayOcc tracks the replay window's in-flight
+	// batch count across all live recoveries.
+	publishLat *metrics.Histogram
+	replayOcc  *metrics.Gauge
 }
 
 // Reply channels on the recorder's pseudo-links.
@@ -334,6 +345,41 @@ func New(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log
 	r.ep.Deliver = r.deliver
 	med.AttachTap(cfg.Node, r)
 	r.loadRestartNumber()
+	if reg := cfg.Metrics; reg != nil {
+		node := int(cfg.Node)
+		r.publishLat = reg.Histogram(node, "recorder", "publish_latency_ns")
+		r.replayOcc = reg.Gauge(node, "recorder", "replay_window_batches")
+		s := &r.stats
+		reg.AddCollector(node, "recorder", func(emit func(string, int64)) {
+			emit("messages_seen", int64(s.MessagesSeen))
+			emit("messages_pending", int64(s.MessagesPending))
+			emit("arrivals_recorded", int64(s.ArrivalsRecorded))
+			emit("bytes_stored", int64(s.BytesStored))
+			emit("acks_seen", int64(s.AcksSeen))
+			emit("notices", int64(s.Notices))
+			emit("advisories", int64(s.Advisories))
+			emit("checkpoints_stored", int64(s.CheckpointsStored))
+			emit("process_crashes", int64(s.ProcessCrashes))
+			emit("processor_crashes", int64(s.ProcessorCrashes))
+			emit("recoveries_started", int64(s.RecoveriesStarted))
+			emit("recoveries_completed", int64(s.RecoveriesCompleted))
+			emit("messages_replayed", int64(s.MessagesReplayed))
+			emit("replay_batches", int64(s.ReplayBatches))
+			emit("ck_chunks_sent", int64(s.CkChunksSent))
+			emit("recorder_acks_sent", int64(s.RecorderAcksSent))
+			emit("missed_arrivals", int64(s.MissedArrivals))
+			emit("store_failures", int64(s.StoreFailures))
+			emit("publish_cpu_ns", int64(s.PublishCPU))
+		})
+		reg.AddCollector(node, "store", func(emit func(string, int64)) {
+			ss := r.store.Stats()
+			emit("appends", int64(ss.Appends))
+			emit("page_writes", int64(ss.PageWrites))
+			emit("page_reads", int64(ss.PageReads))
+			emit("compacted", int64(ss.Compacted))
+			emit("bytes_live", int64(ss.BytesLive))
+		})
+	}
 	return r
 }
 
@@ -523,8 +569,10 @@ func (r *Recorder) observeAck(f *frame.Frame) {
 	e.have[f.ID] = true
 	r.stats.ArrivalsRecorded++
 	r.stats.BytesStored += uint64(len(sm.Body))
+	r.publishLat.Observe(int64(r.sched.Now() - sm.SeenAt))
 	r.persistMessage(e, sm)
-	r.log.Add(trace.KindPublish, int(r.cfg.Node), e.Proc.String(), "published %s (#%d in stream)", sm.ID, sm.ArrSeq)
+	r.log.AddMsg(trace.KindPublish, int(r.cfg.Node), sm.ID.String(), e.Proc.String(),
+		"published (#%d in stream)", sm.ArrSeq)
 	r.releaseStored(sm)
 }
 

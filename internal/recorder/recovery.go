@@ -345,6 +345,7 @@ func (r *Recorder) Crash() {
 	r.awaitCk = nil
 	r.recovering = make(map[frame.ProcID]*recoveryProc)
 	r.replaying = make(map[frame.ProcID]*batchSender)
+	r.replayOcc.Set(0)
 	r.waiters = make(map[uint32]func(*frame.Frame))
 	for _, w := range r.watch {
 		w.gotPong, w.misses = false, 0

@@ -203,6 +203,7 @@ func (bs *batchSender) sendBatch() bool {
 	bs.ids[seq] = id
 	bs.codes = append(bs.codes, code)
 	r.stats.ReplayBatches++
+	r.replayOcc.Add(1)
 	r.log.Add(trace.KindReplay, int(r.cfg.Node), bs.e.Proc.String(),
 		"replaying batch #%d (%d messages, %d B)", seq, count, len(buf))
 	return true
@@ -227,6 +228,7 @@ func (bs *batchSender) onAck(f *frame.Frame) {
 		for s := bs.acked + 1; s <= rep.AckedBatch; s++ {
 			delete(bs.ids, s)
 		}
+		r.replayOcc.Add(-int64(rep.AckedBatch - bs.acked))
 		bs.acked = rep.AckedBatch
 	}
 	bs.fill()
@@ -287,6 +289,7 @@ func (r *Recorder) cancelReplay(p frame.ProcID) {
 		return
 	}
 	delete(r.replaying, p)
+	r.replayOcc.Add(-int64(bs.nextSeq - bs.acked))
 	for _, code := range bs.codes {
 		delete(r.waiters, code)
 	}

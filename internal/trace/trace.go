@@ -3,6 +3,11 @@
 // measurements (Acknowledgements, Ch. 5); this package plays the same role:
 // a low-overhead event log that experiments and tests can filter and assert
 // against, and that the demosnet CLI can stream to the terminal.
+//
+// Events that concern one particular message carry its id in Event.Msg, so a
+// message can be followed causally from send through medium tap, recorder
+// publish, delivery, ack, and recovery replay. WriteChrome (chrome.go) turns
+// that thread into per-node timelines viewable in about:tracing / Perfetto.
 package trace
 
 import (
@@ -59,24 +64,44 @@ type Event struct {
 	Node int
 	// Subject identifies the process/message involved, free-form.
 	Subject string
+	// Msg is the id of the message this event concerns, or "" for events
+	// that are not message-scoped. It is the causal key: every event
+	// carrying the same Msg belongs to one message's lifetime.
+	Msg string
 	// Detail is a human-readable explanation.
 	Detail string
 }
 
 // String formats the event as one log line.
 func (e Event) String() string {
+	if e.Msg != "" && e.Msg != e.Subject {
+		return fmt.Sprintf("%12s node=%-2d %-14s %-22s %s msg=%s", e.At, e.Node, e.Kind, e.Subject, e.Detail, e.Msg)
+	}
 	return fmt.Sprintf("%12s node=%-2d %-14s %-22s %s", e.At, e.Node, e.Kind, e.Subject, e.Detail)
 }
 
 // Log collects events. The zero value is ready to use and records nothing
 // until enabled; a nil *Log is also safe everywhere, so simulation code can
 // trace unconditionally.
+//
+// A bounded log (SetFlightRecorder) keeps only the most recent events in a
+// ring buffer — "flight recorder" mode, so long sweeps don't grow without
+// bound while the tail leading up to a failure stays available.
 type Log struct {
-	enabled bool
-	events  []Event
+	enabled  bool
+	detailed bool
+	events   []Event
+	// limit > 0 bounds events to a ring of that capacity; start is the
+	// ring's logical head once it has wrapped.
+	limit   int
+	start   int
+	wrapped bool
+	dropped uint64
 	sink    io.Writer
 	clock   func() simtime.Time
-	// filter, when non-nil, drops events for which it returns false.
+	// filter, when non-nil, drops events for which it returns false. It
+	// runs before Detail is formatted (Detail is always "" inside the
+	// filter), so rejected events cost no fmt work.
 	filter func(Event) bool
 }
 
@@ -92,7 +117,9 @@ func (l *Log) SetSink(w io.Writer) {
 	}
 }
 
-// SetFilter installs a predicate; events failing it are not recorded.
+// SetFilter installs a predicate; events failing it are not recorded. The
+// predicate sees the event before Detail formatting (Detail is ""): filter
+// on Kind, Node, Subject, or Msg.
 func (l *Log) SetFilter(f func(Event) bool) {
 	if l != nil {
 		l.filter = f
@@ -106,30 +133,134 @@ func (l *Log) Enable(on bool) {
 	}
 }
 
+// SetDetailed turns per-message fine-grained events (per-record replay,
+// end-to-end ack completion) on or off. They are off by default: exporters
+// that reconstruct full causal timelines enable them, and hot paths consult
+// Detailed before paying for them.
+func (l *Log) SetDetailed(on bool) {
+	if l != nil {
+		l.detailed = on
+	}
+}
+
+// Detailed reports whether fine-grained per-message events are wanted.
+func (l *Log) Detailed() bool { return l != nil && l.detailed }
+
+// SetFlightRecorder bounds the log to the most recent n events (n <= 0
+// removes the bound). If more than n events are already recorded, only the
+// newest n survive.
+func (l *Log) SetFlightRecorder(n int) {
+	if l == nil {
+		return
+	}
+	if n <= 0 {
+		if l.wrapped {
+			l.events = l.ordered(nil)
+		}
+		l.limit, l.start, l.wrapped = 0, 0, false
+		return
+	}
+	ev := l.events
+	if l.wrapped {
+		ev = l.ordered(nil)
+	}
+	if len(ev) > n {
+		ev = ev[len(ev)-n:]
+	}
+	l.events = append(make([]Event, 0, n), ev...)
+	l.limit, l.start, l.wrapped = n, 0, false
+}
+
+// Dropped returns how many events the flight-recorder bound has discarded.
+func (l *Log) Dropped() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.dropped
+}
+
 // Add records an event.
 func (l *Log) Add(kind Kind, node int, subject, format string, args ...any) {
+	l.record(kind, node, "", subject, format, args...)
+}
+
+// AddMsg records an event about one particular message: msg is the
+// message's id, the causal key exporters group a message's lifetime by.
+func (l *Log) AddMsg(kind Kind, node int, msg, subject, format string, args ...any) {
+	l.record(kind, node, msg, subject, format, args...)
+}
+
+func (l *Log) record(kind Kind, node int, msg, subject, format string, args ...any) {
 	if l == nil || !l.enabled {
 		return
 	}
-	e := Event{Kind: kind, Node: node, Subject: subject, Detail: fmt.Sprintf(format, args...)}
+	e := Event{Kind: kind, Node: node, Subject: subject, Msg: msg}
 	if l.clock != nil {
 		e.At = l.clock()
 	}
+	// The filter runs before Detail exists, so a rejected event never pays
+	// for formatting.
 	if l.filter != nil && !l.filter(e) {
 		return
 	}
-	l.events = append(l.events, e)
+	if len(args) == 0 {
+		e.Detail = format
+	} else {
+		e.Detail = fmt.Sprintf(format, args...)
+	}
+	l.append(e)
 	if l.sink != nil {
 		fmt.Fprintln(l.sink, e)
 	}
 }
 
-// Events returns all recorded events.
+// append stores e, honoring the flight-recorder bound.
+func (l *Log) append(e Event) {
+	if l.limit <= 0 || len(l.events) < l.limit {
+		l.events = append(l.events, e)
+		return
+	}
+	l.events[l.start] = e
+	l.start++
+	if l.start == l.limit {
+		l.start = 0
+	}
+	l.wrapped = true
+	l.dropped++
+}
+
+// each calls f for every recorded event in order, without allocating.
+func (l *Log) each(f func(e *Event)) {
+	if l == nil {
+		return
+	}
+	n := len(l.events)
+	for i := 0; i < n; i++ {
+		idx := i
+		if l.wrapped {
+			idx = (l.start + i) % n
+		}
+		f(&l.events[idx])
+	}
+}
+
+// ordered appends the recorded events to dst in chronological order.
+func (l *Log) ordered(dst []Event) []Event {
+	l.each(func(e *Event) { dst = append(dst, *e) })
+	return dst
+}
+
+// Events returns all recorded events in order. Until the flight-recorder
+// ring wraps this is the backing slice (no copy); after wrapping it is a
+// fresh ordered copy.
 func (l *Log) Events() []Event {
 	if l == nil {
 		return nil
 	}
-	return l.events
+	if !l.wrapped {
+		return l.events
+	}
+	return l.ordered(make([]Event, 0, len(l.events)))
 }
 
 // OfKind returns the recorded events of one kind.
@@ -138,51 +269,56 @@ func (l *Log) OfKind(k Kind) []Event {
 		return nil
 	}
 	var out []Event
-	for _, e := range l.events {
+	l.each(func(e *Event) {
 		if e.Kind == k {
-			out = append(out, e)
+			out = append(out, *e)
 		}
-	}
+	})
 	return out
 }
 
 // Count returns how many events of kind k were recorded.
-func (l *Log) Count(k Kind) int { return len(l.OfKind(k)) }
+func (l *Log) Count(k Kind) int {
+	n := 0
+	l.each(func(e *Event) {
+		if e.Kind == k {
+			n++
+		}
+	})
+	return n
+}
 
 // CountSubject returns how many events of kind k mention subject.
 func (l *Log) CountSubject(k Kind, subject string) int {
 	n := 0
-	for _, e := range l.OfKind(k) {
-		if e.Subject == subject {
+	l.each(func(e *Event) {
+		if e.Kind == k && e.Subject == subject {
 			n++
 		}
-	}
+	})
 	return n
 }
 
 // Contains reports whether any event of kind k has a detail containing s.
 func (l *Log) Contains(k Kind, s string) bool {
-	for _, e := range l.OfKind(k) {
-		if strings.Contains(e.Detail, s) {
-			return true
+	found := false
+	l.each(func(e *Event) {
+		if !found && e.Kind == k && strings.Contains(e.Detail, s) {
+			found = true
 		}
-	}
-	return false
+	})
+	return found
 }
 
-// Reset discards recorded events.
+// Reset discards recorded events (the flight-recorder bound stays).
 func (l *Log) Reset() {
 	if l != nil {
-		l.events = nil
+		l.events = l.events[:0]
+		l.start, l.wrapped, l.dropped = 0, false, 0
 	}
 }
 
 // Dump writes every recorded event to w.
 func (l *Log) Dump(w io.Writer) {
-	if l == nil {
-		return
-	}
-	for _, e := range l.events {
-		fmt.Fprintln(w, e)
-	}
+	l.each(func(e *Event) { fmt.Fprintln(w, e) })
 }

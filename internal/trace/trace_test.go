@@ -11,13 +11,25 @@ import (
 func TestNilLogIsSafe(t *testing.T) {
 	var l *Log
 	l.Add(KindSend, 1, "x", "anything %d", 42)
+	l.AddMsg(KindSend, 1, "m1", "x", "anything")
 	l.Enable(true)
 	l.SetSink(&bytes.Buffer{})
 	l.SetFilter(func(Event) bool { return true })
+	l.SetDetailed(true)
+	l.SetFlightRecorder(4)
 	l.Reset()
 	l.Dump(&bytes.Buffer{})
+	if err := l.WriteChrome(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil WriteChrome: %v", err)
+	}
 	if l.Events() != nil || l.OfKind(KindSend) != nil || l.Count(KindSend) != 0 {
 		t.Fatal("nil log leaked data")
+	}
+	if l.CountSubject(KindSend, "x") != 0 || l.Contains(KindSend, "y") {
+		t.Fatal("nil log counted")
+	}
+	if l.Detailed() || l.Dropped() != 0 {
+		t.Fatal("nil log has state")
 	}
 }
 
@@ -88,6 +100,123 @@ func TestResetAndDump(t *testing.T) {
 	l.Reset()
 	if len(l.Events()) != 0 {
 		t.Fatal("reset did not clear")
+	}
+}
+
+// panicStringer proves formatting never happened: Sprintf on it panics.
+type panicStringer struct{}
+
+func (panicStringer) String() string { panic("formatted a filtered event") }
+
+func TestFilterRunsBeforeFormatting(t *testing.T) {
+	l := New(nil)
+	sawDetail := "unset"
+	l.SetFilter(func(e Event) bool {
+		sawDetail = e.Detail
+		return false
+	})
+	l.Add(KindSend, 0, "s", "costly %v", panicStringer{})
+	if sawDetail != "" {
+		t.Fatalf("filter saw Detail %q, want empty (pre-format)", sawDetail)
+	}
+	if len(l.Events()) != 0 {
+		t.Fatal("rejected event recorded")
+	}
+}
+
+func TestFilterSeesMsgAndSinkGetsFiltered(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(nil)
+	l.SetSink(&buf)
+	l.SetFilter(func(e Event) bool { return e.Msg == "keep-me" })
+	l.AddMsg(KindSend, 0, "drop-me", "s", "a")
+	l.AddMsg(KindSend, 0, "keep-me", "s", "b")
+	if got := l.Count(KindSend); got != 1 {
+		t.Fatalf("recorded %d, want 1", got)
+	}
+	if out := buf.String(); !strings.Contains(out, "keep-me") || strings.Contains(out, "drop-me") {
+		t.Fatalf("sink saw filtered event: %q", out)
+	}
+}
+
+func TestCountDoesNotAllocate(t *testing.T) {
+	l := New(nil)
+	for i := 0; i < 100; i++ {
+		l.Add(KindSend, 0, "s", "x")
+		l.Add(KindCrash, 0, "s", "x")
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if l.Count(KindSend) != 100 || l.CountSubject(KindCrash, "s") != 100 {
+			t.Fatal("wrong counts")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Count allocated %.0f times per run", allocs)
+	}
+}
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	now := simtime.Time(0)
+	l := New(func() simtime.Time { return now })
+	l.SetFlightRecorder(3)
+	for i := 1; i <= 7; i++ {
+		now = simtime.Time(i)
+		l.Add(KindSend, 0, "s", "ev")
+	}
+	ev := l.Events()
+	if len(ev) != 3 {
+		t.Fatalf("kept %d events, want 3", len(ev))
+	}
+	for i, want := range []simtime.Time{5, 6, 7} {
+		if ev[i].At != want {
+			t.Fatalf("event %d at %v, want %v (order broken)", i, ev[i].At, want)
+		}
+	}
+	if l.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", l.Dropped())
+	}
+	if l.Count(KindSend) != 3 {
+		t.Fatal("Count ignores the ring bound")
+	}
+	// Shrinking keeps the newest events; unbounding keeps order.
+	l.SetFlightRecorder(2)
+	if ev := l.Events(); len(ev) != 2 || ev[1].At != 7 {
+		t.Fatalf("shrink kept %v", ev)
+	}
+	l.SetFlightRecorder(0)
+	now = 8
+	l.Add(KindSend, 0, "s", "ev")
+	if ev := l.Events(); len(ev) != 3 || ev[0].At != 6 || ev[2].At != 8 {
+		t.Fatalf("unbound kept %v", ev)
+	}
+	// Reset keeps the bound itself.
+	l.SetFlightRecorder(2)
+	l.Reset()
+	if l.Dropped() != 0 {
+		t.Fatal("Reset kept dropped count")
+	}
+	for i := 0; i < 5; i++ {
+		l.Add(KindSend, 0, "s", "ev")
+	}
+	if len(l.Events()) != 2 {
+		t.Fatal("bound lost across Reset")
+	}
+}
+
+func TestAddMsgThreadsCausalKey(t *testing.T) {
+	l := New(nil)
+	l.AddMsg(KindPublish, 1, "p0.1#7", "p0.1", "published")
+	e := l.Events()[0]
+	if e.Msg != "p0.1#7" {
+		t.Fatalf("Msg = %q", e.Msg)
+	}
+	if s := e.String(); !strings.Contains(s, "msg=p0.1#7") {
+		t.Fatalf("Event.String lost the id: %q", s)
+	}
+	// When the subject IS the id, the suffix would be noise.
+	l.AddMsg(KindSend, 1, "p0.1#8", "p0.1#8", "sent")
+	if s := l.Events()[1].String(); strings.Contains(s, "msg=") {
+		t.Fatalf("redundant msg suffix: %q", s)
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 
 	"publishing/internal/frame"
 	"publishing/internal/lan"
+	"publishing/internal/metrics"
 	"publishing/internal/simtime"
 	"publishing/internal/trace"
 )
@@ -57,6 +58,9 @@ type Config struct {
 	// RecorderAckTimeout discards a held frame if no recorder ack arrives,
 	// letting the sender's retransmission drive another attempt.
 	RecorderAckTimeout simtime.Time
+	// Metrics, when non-nil, receives the endpoint's counters and the ack
+	// round-trip histogram under subsystem "transport".
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns sensible simulation defaults.
@@ -136,6 +140,8 @@ type Endpoint struct {
 	rx map[frame.NodeID]*rxStream
 
 	stats Stats
+	// ackRTT observes send-to-ack round trips in virtual nanoseconds.
+	ackRTT *metrics.Histogram
 }
 
 // rxStream reassembles one sender's guaranteed-frame stream in order.
@@ -155,7 +161,10 @@ func xseqSeq(x uint64) uint64   { return x & xseqSeqMask }
 type flight struct {
 	f        *frame.Frame
 	attempts int
-	timer    simtime.Event
+	// sentAt is virtual time of the first transmission, the start of the
+	// end-to-end ack round trip.
+	sentAt simtime.Time
+	timer  simtime.Event
 }
 
 type heldFrame struct {
@@ -183,6 +192,22 @@ func New(node frame.NodeID, med lan.Medium, sched *simtime.Scheduler, log *trace
 		dup:      newDupCache(cfg.DupCacheSize),
 		held:     make(map[frame.MsgID]*heldFrame),
 		rx:       make(map[frame.NodeID]*rxStream),
+	}
+	if cfg.Metrics != nil {
+		e.ackRTT = cfg.Metrics.Histogram(int(node), "transport", "ack_rtt_ns")
+		s := &e.stats
+		cfg.Metrics.AddCollector(int(node), "transport", func(emit func(string, int64)) {
+			emit("guaranteed_sent", int64(s.GuaranteedSent))
+			emit("unguaranteed_sent", int64(s.UnguaranteedSent))
+			emit("retransmits", int64(s.Retransmits))
+			emit("acks_sent", int64(s.AcksSent))
+			emit("acks_received", int64(s.AcksReceived))
+			emit("delivered", int64(s.Delivered))
+			emit("dups_suppressed", int64(s.DupsSuppressed))
+			emit("recorder_held", int64(s.RecorderHeld))
+			emit("recorder_expired", int64(s.RecorderExpired))
+			emit("gave_up", int64(s.GaveUp))
+		})
 	}
 	med.Attach(node, e)
 	return e
@@ -296,6 +321,9 @@ func (e *Endpoint) pump() {
 
 func (e *Endpoint) transmit(fl *flight) {
 	fl.attempts++
+	if fl.attempts == 1 {
+		fl.sentAt = e.sched.Now()
+	}
 	// Stamp the stream low-water mark: the lowest sequence still
 	// unacknowledged toward this destination. Receivers sync on it.
 	low := xseqSeq(fl.f.XSeq)
@@ -324,7 +352,8 @@ func (e *Endpoint) retransmit(fl *flight) {
 	if e.cfg.MaxRetries > 0 && fl.attempts >= e.cfg.MaxRetries {
 		// Give up; the crash-detection machinery owns this situation now.
 		e.stats.GaveUp++
-		e.log.Add(trace.KindDrop, int(e.node), fl.f.ID.String(),
+		id := fl.f.ID.String()
+		e.log.AddMsg(trace.KindDrop, int(e.node), id, id,
 			"gave up after %d attempts", fl.attempts)
 		e.finish(fl.f)
 		if e.OnGiveUp != nil {
@@ -333,7 +362,8 @@ func (e *Endpoint) retransmit(fl *flight) {
 		return
 	}
 	e.stats.Retransmits++
-	e.log.Add(trace.KindSend, int(e.node), fl.f.ID.String(), "retransmit #%d", fl.attempts)
+	id := fl.f.ID.String()
+	e.log.AddMsg(trace.KindSend, int(e.node), id, id, "retransmit #%d", fl.attempts)
 	e.transmit(fl)
 }
 
@@ -389,10 +419,16 @@ func (e *Endpoint) handleAck(f *frame.Frame) {
 		return // duplicate ack
 	}
 	e.stats.AcksReceived++
+	fl := e.inflight[f.ID]
+	e.ackRTT.Observe(int64(e.sched.Now() - fl.sentAt))
+	if e.log.Detailed() {
+		id := f.ID.String()
+		e.log.AddMsg(trace.KindAck, int(e.node), id, id,
+			"end-to-end ack after %d attempt(s)", fl.attempts)
+	}
 	if e.OnAck != nil {
 		e.OnAck(f.ID)
 	}
-	fl := e.inflight[f.ID]
 	e.finish(fl.f)
 }
 
@@ -420,7 +456,8 @@ func (e *Endpoint) handleGuaranteed(f *frame.Frame) {
 			if _, ok := e.held[f.ID]; ok {
 				delete(e.held, f.ID)
 				e.stats.RecorderExpired++
-				e.log.Add(trace.KindDrop, int(e.node), f.ID.String(),
+				id := f.ID.String()
+				e.log.AddMsg(trace.KindDrop, int(e.node), id, id,
 					"discarded: no recorder ack (will be resent)")
 			}
 		})

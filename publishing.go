@@ -39,6 +39,7 @@ import (
 	"publishing/internal/demos"
 	"publishing/internal/frame"
 	"publishing/internal/lan"
+	"publishing/internal/metrics"
 	"publishing/internal/recorder"
 	"publishing/internal/simtime"
 	"publishing/internal/stablestore"
@@ -178,6 +179,9 @@ type Config struct {
 
 	// TraceWriter, when set, streams the simulation event trace.
 	TraceWriter io.Writer
+	// FlightRecorder, when > 0, bounds the trace log to the most recent
+	// events (ring buffer), so long runs keep the tail without growing.
+	FlightRecorder int
 }
 
 // DefaultConfig returns a publishing-enabled cluster of n nodes on a
@@ -206,6 +210,7 @@ type Cluster struct {
 	sched *simtime.Scheduler
 	rng   *simtime.Rand
 	log   *trace.Log
+	mets  *metrics.Registry
 	med   lan.Medium
 	reg   *demos.Registry
 
@@ -235,6 +240,10 @@ func New(cfg Config) *Cluster {
 	if cfg.TraceWriter != nil {
 		c.log.SetSink(cfg.TraceWriter)
 	}
+	if cfg.FlightRecorder > 0 {
+		c.log.SetFlightRecorder(cfg.FlightRecorder)
+	}
+	c.mets = metrics.NewRegistry()
 
 	nRecs := cfg.Recorders
 	if nRecs < 1 {
@@ -256,8 +265,14 @@ func New(cfg Config) *Cluster {
 	default:
 		c.med = lan.NewPerfect(cfg.LAN, c.sched, c.rng.Fork(), c.log)
 	}
+	// Every concrete medium embeds lan.base; the assertion keeps the Medium
+	// interface free of observability plumbing.
+	if um, ok := c.med.(interface{ UseMetrics(*metrics.Registry) }); ok {
+		um.UseMetrics(c.mets)
+	}
 
 	tcfg := cfg.Transport
+	tcfg.Metrics = c.mets
 	recProc := frame.NilProc
 	if cfg.Publishing {
 		recProc = ProcID{Node: recNode, Local: 1}
@@ -279,6 +294,7 @@ func New(cfg Config) *Cluster {
 		Publishing:   cfg.Publishing,
 		RecorderProc: recProc,
 		Services:     c.servicesView(),
+		Metrics:      c.mets,
 	}
 	total := cfg.Nodes + cfg.Spares
 	for i := 0; i < total; i++ {
@@ -302,8 +318,10 @@ func New(cfg Config) *Cluster {
 		// The recorder's own transport never waits for recorder acks.
 		rtcfg := cfg.Transport
 		rtcfg.NeedRecorderAck = false
+		rtcfg.Metrics = c.mets
 		for i := 0; i < nRecs; i++ {
 			rcfg := recorder.DefaultConfig(NodeID(cfg.Nodes+i), watched)
+			rcfg.Metrics = c.mets
 			rcfg.Mode = cfg.RecorderMode
 			rcfg.EmitRecorderAcks = tcfg.NeedRecorderAck && i == 0
 			rcfg.FlushEveryMessage = cfg.FlushEveryMessage
@@ -498,6 +516,10 @@ func (c *Cluster) Medium() lan.Medium { return c.med }
 
 // Trace returns the event log.
 func (c *Cluster) Trace() *trace.Log { return c.log }
+
+// Metrics returns the cluster's metrics registry: every subsystem's
+// counters, gauges, and histograms, keyed by (node, subsystem, name).
+func (c *Cluster) Metrics() *metrics.Registry { return c.mets }
 
 // Store returns the primary recorder's stable store (nil when publishing
 // is off).
