@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-verify bench bench-json bench-recovery sweep
+.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery sweep
 
-check: vet build test race sweep-verify
+check: vet build test race sweep-verify chaos fuzz
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,21 @@ test:
 race:
 	$(GO) test -race ./internal/sweep ./internal/stablestore \
 		./internal/metrics ./internal/trace ./internal/frame ./internal/simtime
+
+# The seeded fault-schedule sweep plus the invariant checker, race-checked:
+# the harness runs baseline and faulted clusters on real goroutines via
+# t.Parallel, so the sweep doubles as a race test of the whole stack.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 .
+
+# Time-boxed native fuzzing of the three wire codecs (frame, replay batch,
+# chaos schedule). Long exploratory runs are manual (`go test -fuzz X
+# -fuzztime 10m ./internal/frame`); this keeps the corpora exercised and
+# catches regressions the checked-in seeds reach quickly.
+fuzz:
+	$(GO) test ./internal/frame -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s
+	$(GO) test ./internal/demos -run '^$$' -fuzz FuzzReplayBatchDecode -fuzztime 10s
+	$(GO) test ./internal/chaos -run '^$$' -fuzz FuzzChaosSchedule -fuzztime 10s
 
 # The parallel-vs-serial sweep determinism proof, without rewriting
 # BENCH_sweep.json (use `make sweep` to refresh the trajectory file).

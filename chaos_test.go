@@ -1,0 +1,106 @@
+package publishing
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"publishing/internal/chaos"
+)
+
+// chaosSweepSeeds is how many distinct generated schedules the sweep runs.
+// Each seed is an independent scenario (its own cluster pair, workload, and
+// fault schedule), so the sweep is the closest thing this repo has to a
+// continuous simulation-testing fleet — just compressed into one `go test`.
+const chaosSweepSeeds = 50
+
+// TestChaosScheduleSweep generates one fault schedule per seed and requires
+// every system-wide invariant to hold. On failure it prints the checker
+// report and a minimized reproducer token.
+func TestChaosScheduleSweep(t *testing.T) {
+	lim := chaos.DefaultLimits()
+	opt := chaos.DefaultOptions()
+	for seed := uint64(1); seed <= chaosSweepSeeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
+			t.Parallel()
+			s := chaos.Generate(seed, lim)
+			build := ChaosBuild(ChaosSeedVariant(seed))
+			res := chaos.Run(s, build, opt)
+			if !res.Passed {
+				t.Errorf("invariants violated:\n%s", res.Report)
+				t.Fatal(chaos.Reproducer(s, build, opt))
+			}
+		})
+	}
+}
+
+// TestChaosDeterministicReports runs the same schedule twice and demands
+// byte-identical invariant-checker reports — the property every "reproduce
+// with this seed" workflow stands on.
+func TestChaosDeterministicReports(t *testing.T) {
+	for _, seed := range []uint64{2, 13, 31} {
+		s := chaos.Generate(seed, chaos.DefaultLimits())
+		build := ChaosBuild(ChaosSeedVariant(seed))
+		a := chaos.Run(s, build, chaos.DefaultOptions())
+		b := chaos.Run(s, build, chaos.DefaultOptions())
+		if a.Report != b.Report {
+			t.Fatalf("seed %d: reports differ across identical runs:\n--- first\n%s\n--- second\n%s",
+				seed, a.Report, b.Report)
+		}
+		if !a.Passed {
+			t.Fatalf("seed %d: schedule failed (sweep should have caught this):\n%s", seed, a.Report)
+		}
+	}
+}
+
+// TestChaosBrokenDupSuppressionCaught is the checker's own regression test:
+// deliberately disable the transport's duplicate detection, inject a heavy
+// duplication burst, and require the exactly-once invariant to catch the
+// resulting application-level duplicates. The same schedule against an
+// intact transport must pass — the violation is the broken guard's fault,
+// not the schedule's.
+func TestChaosBrokenDupSuppressionCaught(t *testing.T) {
+	s := chaos.Schedule{Seed: 424242, Faults: []chaos.Fault{
+		{Kind: chaos.KindDupBurst, AtMs: 300, DurMs: 3000, Prob: 255},
+	}}
+	opt := chaos.DefaultOptions()
+
+	broken := chaos.Run(s, ChaosBuild(ChaosOptions{BreakDupSuppression: true}), opt)
+	if broken.Passed {
+		t.Fatalf("checker passed with duplicate suppression disabled under a dup burst:\n%s", broken.Report)
+	}
+	caught := false
+	for _, v := range broken.Violations {
+		if v.Invariant == "exactly-once" {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatalf("exactly-once invariant missed the duplicates; violations:\n%s", broken.Report)
+	}
+
+	intact := chaos.Run(s, ChaosBuild(ChaosOptions{}), opt)
+	if !intact.Passed {
+		t.Fatalf("intact transport failed the same schedule:\n%s", intact.Report)
+	}
+}
+
+// TestChaosRepro replays a schedule hex token from the CHAOS_SCHEDULE
+// environment variable — the reproducer a failing sweep prints. Skipped
+// when the variable is unset.
+func TestChaosRepro(t *testing.T) {
+	tok := os.Getenv("CHAOS_SCHEDULE")
+	if tok == "" {
+		t.Skip("set CHAOS_SCHEDULE=<hex token> to replay a failing schedule")
+	}
+	s, err := chaos.DecodeHex(tok)
+	if err != nil {
+		t.Fatalf("bad CHAOS_SCHEDULE token: %v", err)
+	}
+	res := chaos.Run(s, ChaosBuild(ChaosSeedVariant(s.Seed)), chaos.DefaultOptions())
+	t.Logf("\n%s", res.Report)
+	if !res.Passed {
+		t.Fatalf("schedule %s violates %d invariant(s)", s.Hex(), len(res.Violations))
+	}
+}

@@ -29,6 +29,8 @@ func main() {
 		doSweep  = flag.Bool("sweep", false, "parallel deterministic seed sweep; writes -sweepout")
 		sweepOut = flag.String("sweepout", "BENCH_sweep.json", "trajectory file the sweep writes")
 		doVerify = flag.Bool("verify", false, "run the sweep determinism check without writing a trajectory file")
+		doChaos  = flag.Bool("chaos", false, "seeded fault-schedule sweep through the chaos harness")
+		chaosN   = flag.Int("chaosn", 10, "chaos: number of consecutive seeds to sweep")
 		observe  = flag.Bool("observe", false, "crash-and-recover run that exports metrics + timeline")
 		metOut   = flag.String("metrics", "", "observe: write the metrics snapshot here (\"-\" = stdout)")
 		traceOut = flag.String("trace-out", "", "observe: write a Chrome trace-event JSON timeline here")
@@ -36,6 +38,11 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "observe: determinism seed")
 	)
 	flag.Parse()
+	if *doChaos {
+		// A tool run like the sweep; -seed picks the first schedule.
+		runChaos(*seed, *chaosN)
+		return
+	}
 	if *observe {
 		// Like the sweep, a tool run outside the default paper set.
 		runObserve(observeOpts{metricsOut: *metOut, traceOut: *traceOut, flight: *flight, seed: *seed})

@@ -56,6 +56,7 @@ type KernelStats struct {
 	Replayed           uint64 // messages injected by recovery processes
 	ReplayBatches      uint64 // OpReplayBatch frames applied
 	StaleReplayDropped uint64 // replay frames from an abandoned recovery generation
+	ReplayDupsDropped  uint64 // direct copies of already-replayed messages consumed
 }
 
 // Kernel is one node's message kernel plus its kernel process (§4.2.1). It
@@ -151,6 +152,7 @@ func NewKernel(node frame.NodeID, env Env) *Kernel {
 			emit("replayed", int64(s.Replayed))
 			emit("replay_batches", int64(s.ReplayBatches))
 			emit("stale_replay_dropped", int64(s.StaleReplayDropped))
+			emit("replay_dups_dropped", int64(s.ReplayDupsDropped))
 			emit("kernel_cpu_ns", int64(k.kernelCPU))
 			emit("user_cpu_ns", int64(k.userCPU))
 		})

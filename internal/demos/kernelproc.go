@@ -117,6 +117,7 @@ func (k *Kernel) handleControl(f *frame.Frame) bool {
 			return true
 		}
 		k.stats.Replayed++
+		k.noteReplayed(p, ctl.ReplayID)
 		k.pushToQueue(p, Msg{
 			ID:      ctl.ReplayID,
 			From:    ctl.ReplayFrom,
@@ -230,6 +231,7 @@ func (k *Kernel) handleReplayBatch(f *frame.Frame, hdr ReplayBatchHdr) bool {
 	detailed := k.env.Log.Detailed()
 	for i := range recs {
 		k.stats.Replayed++
+		k.noteReplayed(p, recs[i].ID)
 		k.pushToQueue(p, Msg{
 			ID:      recs[i].ID,
 			From:    recs[i].From,
@@ -250,6 +252,16 @@ func (k *Kernel) handleReplayBatch(f *frame.Frame, hdr ReplayBatchHdr) bool {
 		"replayed batch #%d (%d messages)", hdr.Seq, len(recs))
 	k.replyBatchAck(f, p)
 	return true
+}
+
+// noteReplayed remembers a message id delivered to p via replay, so a late
+// direct retransmission of the same message (its ack was lost with the old
+// node) is consumed instead of delivered again.
+func (k *Kernel) noteReplayed(p *process, id frame.MsgID) {
+	if p.replayed == nil {
+		p.replayed = make(map[frame.MsgID]bool)
+	}
+	p.replayed[id] = true
 }
 
 // replyBatchAck sends the cumulative batch acknowledgement for p.

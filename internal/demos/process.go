@@ -125,6 +125,13 @@ type process struct {
 	// replayBatch is the cumulative replay-batch acknowledgement: the
 	// highest batch sequence applied in order.
 	replayBatch uint64
+	// replayed holds the ids of messages this incarnation received via
+	// replay. A sender whose ack was lost (partition, crash) keeps
+	// retransmitting the original past recovery-done; the transport cannot
+	// recognize it (the rebooted endpoint has fresh streams), so the kernel
+	// must drop — but still consume, so the retransmissions stop — any
+	// direct copy of a message the recovery already delivered.
+	replayed map[frame.MsgID]bool
 
 	// goroutine handshake. The goroutine runs only between a send on resume
 	// and the following receive on yield, so exactly one of (kernel,

@@ -1,0 +1,105 @@
+package frame
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// frameCorpus returns representative frames covering every encoder branch:
+// body/no body, passed link, control types, corrupt checksum.
+func frameCorpus() []*Frame {
+	return []*Frame{
+		{
+			Type: Guaranteed, Src: 0, Dst: 1,
+			ID:   MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 7},
+			From: ProcID{Node: 0, Local: 1}, To: ProcID{Node: 1, Local: 2},
+			Channel: 3, Code: 99, XSeq: 1<<48 | 12, XLow: 1<<48 | 10,
+			Body: []byte("step=7 sum=42"),
+		},
+		{
+			Type: Guaranteed, Src: 2, Dst: Broadcast,
+			ID:   MsgID{Sender: ProcID{Node: 2, Local: 5}, Seq: 1},
+			From: ProcID{Node: 2, Local: 5}, To: ProcID{Node: 1, Local: 0},
+			DeliverToKernel: true,
+			PassedLink:      &Link{To: ProcID{Node: 2, Local: 5}, Channel: 9, Code: 4, DeliverToKernel: true},
+			Body:            []byte{0x00},
+		},
+		{Type: Ack, Src: 1, Dst: 0, ID: MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 7}, XSeq: 12},
+		{Type: RecorderAck, Src: 3, Dst: Broadcast, ID: MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 8}},
+		{Type: Unguaranteed, Src: 0, Dst: 2, From: ProcID{Node: 0, Local: 0}, To: ProcID{Node: 2, Local: 0}, Body: []byte{0x01}},
+		{Type: Token},
+		{
+			Type: Guaranteed, Src: 0, Dst: 1,
+			ID:   MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 9},
+			From: ProcID{Node: 0, Local: 1}, To: ProcID{Node: 1, Local: 2},
+			Body: []byte("noise got me"), Corrupt: true,
+		},
+	}
+}
+
+// normalizeBody maps an empty body to nil so frames decoded into fresh and
+// reused Frames (which differ only in empty-slice identity) compare equal.
+func normalizeBody(f *Frame) {
+	if len(f.Body) == 0 {
+		f.Body = nil
+	}
+}
+
+// FuzzFrameDecode fuzzes the link-layer frame codec: arbitrary bytes either
+// fail Decode with one of the documented errors, or decode to a frame whose
+// re-encoding decodes back to the identical frame. Byte-for-byte encode
+// identity is deliberately NOT asserted — decode accepts any nonzero byte as
+// a bool while encode always emits 1 — but the decode∘encode fixed point
+// must hold, and a corrupted re-encoding must be rejected.
+func FuzzFrameDecode(f *testing.F) {
+	for _, fr := range frameCorpus() {
+		f.Add(fr.Encode())
+	}
+	f.Add([]byte{})
+	f.Add(make([]byte, headerLen+checksumLen))
+	f.Add(frameCorpus()[0].Encode()[:headerLen])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrShortFrame) && !errors.Is(err, ErrBadChecksum) && !errors.Is(err, ErrBadType) {
+				t.Fatalf("undocumented decode error: %v", err)
+			}
+			return
+		}
+		if fr.Corrupt {
+			t.Fatal("decode accepted a frame yet left Corrupt set")
+		}
+
+		enc := fr.Encode()
+		if want := fr.WireLen(); len(enc) != want {
+			t.Fatalf("WireLen %d but encoded %d bytes", want, len(enc))
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoding does not decode: %v", err)
+		}
+		normalizeBody(fr)
+		normalizeBody(back)
+		if !reflect.DeepEqual(fr, back) {
+			t.Fatalf("decode/encode not a fixed point:\n got %+v\nwant %+v", back, fr)
+		}
+
+		// DecodeInto must agree with Decode even when reusing a dirty frame.
+		dirty := &Frame{Body: make([]byte, 64), PassedLink: &Link{Channel: 77}, Corrupt: true}
+		if err := DecodeInto(dirty, data); err != nil {
+			t.Fatalf("DecodeInto failed where Decode succeeded: %v", err)
+		}
+		normalizeBody(dirty)
+		if !reflect.DeepEqual(fr, dirty) {
+			t.Fatalf("DecodeInto reuse diverged:\n got %+v\nwant %+v", dirty, fr)
+		}
+
+		// Invalidating the checksum — how injected noise and the ring
+		// recorder's store-failure signal appear on the wire — must be caught.
+		fr.Corrupt = true
+		if _, err := Decode(fr.Encode()); !errors.Is(err, ErrBadChecksum) {
+			t.Fatalf("corrupt re-encoding not rejected: %v", err)
+		}
+	})
+}

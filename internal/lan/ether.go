@@ -53,7 +53,9 @@ func (m *Ether) Send(src frame.NodeID, f *frame.Frame) {
 		return
 	}
 	m.stats.FramesSent++
-	m.attempt(&etherTx{src: src, f: f.Clone()})
+	g := f.Clone()
+	m.maybeCorrupt(g)
+	m.attempt(&etherTx{src: src, f: g})
 }
 
 func (m *Ether) attempt(tx *etherTx) {

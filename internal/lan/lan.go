@@ -123,9 +123,49 @@ type FaultPlan struct {
 	// even though it was on the wire (local interface error); the transport
 	// retransmission recovers it.
 	ReceiverMissProb float64
+	// CorruptProb invalidates a frame's checksum at transmission time —
+	// wire noise the link layer catches (§4.3.3). A corrupt frame is
+	// discarded by every listener, tap included, so it behaves like loss
+	// but exercises the checksum-discard path and its counters.
+	CorruptProb float64
+	// DupProb delivers a completed frame to its receivers a second time
+	// (a reflected or re-acknowledged transmission); the transport layer's
+	// duplicate suppression must absorb it.
+	DupProb float64
+	// AckSlotErrProb corrupts the recorder's acknowledgement indication
+	// (the §6.1.1 ack slot / §6.1.2 ack field) after the recorder HAS
+	// stored the frame: receivers see no valid recorder ack and discard,
+	// the sender retransmits, and the recorder's duplicate detection must
+	// recognize the resend.
+	AckSlotErrProb float64
 
 	down      map[frame.NodeID]bool
 	partition map[frame.NodeID]int
+	// linkLoss drops frames on one directed (src, dst) station pair only —
+	// a bad cable segment between two particular nodes.
+	linkLoss map[[2]frame.NodeID]float64
+}
+
+// SetLinkLoss makes the directed link from src to dst lose frames with
+// probability p (0 removes the entry). Loss applies at delivery to dst only;
+// other receivers of a broadcast and the taps still hear the frame.
+func (p *FaultPlan) SetLinkLoss(src, dst frame.NodeID, prob float64) {
+	if p.linkLoss == nil {
+		p.linkLoss = make(map[[2]frame.NodeID]float64)
+	}
+	if prob <= 0 {
+		delete(p.linkLoss, [2]frame.NodeID{src, dst})
+		return
+	}
+	p.linkLoss[[2]frame.NodeID{src, dst}] = prob
+}
+
+// linkLossProb returns the injected loss probability of the src->dst link.
+func (p *FaultPlan) linkLossProb(src, dst frame.NodeID) float64 {
+	if p.linkLoss == nil {
+		return 0
+	}
+	return p.linkLoss[[2]frame.NodeID{src, dst}]
 }
 
 // SetDown marks a node's network interface up or down. A down node neither
@@ -169,13 +209,18 @@ type Stats struct {
 	Backoffs        uint64 // binary-exponential-backoff waits entered
 	TapMisses       uint64
 	RecorderBlocks  uint64 // frames receivers discarded for lack of recorder ack
+	FramesCorrupted uint64 // checksums invalidated by injected wire noise
+	FramesDuped     uint64 // extra deliveries injected by DupProb
+	AckSlotErrs     uint64 // stored-but-unacknowledged flips from AckSlotErrProb
+	LinkDrops       uint64 // frames lost to a per-link fault (SetLinkLoss)
 	BytesOnWire     uint64
 	BusyTime        simtime.Time
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("sent=%d delivered=%d lost=%d collisions=%d backoffs=%d tapMiss=%d recBlock=%d bytes=%d busy=%v",
-		s.FramesSent, s.FramesDelivered, s.FramesLost, s.Collisions, s.Backoffs, s.TapMisses, s.RecorderBlocks, s.BytesOnWire, s.BusyTime)
+	return fmt.Sprintf("sent=%d delivered=%d lost=%d collisions=%d backoffs=%d tapMiss=%d recBlock=%d corrupt=%d duped=%d ackErr=%d linkDrop=%d bytes=%d busy=%v",
+		s.FramesSent, s.FramesDelivered, s.FramesLost, s.Collisions, s.Backoffs, s.TapMisses, s.RecorderBlocks,
+		s.FramesCorrupted, s.FramesDuped, s.AckSlotErrs, s.LinkDrops, s.BytesOnWire, s.BusyTime)
 }
 
 // Utilization returns the fraction of the elapsed window the channel was
@@ -254,6 +299,10 @@ func (b *base) UseMetrics(reg *metrics.Registry) {
 		emit("backoffs", int64(s.Backoffs))
 		emit("tap_misses", int64(s.TapMisses))
 		emit("recorder_blocks", int64(s.RecorderBlocks))
+		emit("frames_corrupted", int64(s.FramesCorrupted))
+		emit("frames_duped", int64(s.FramesDuped))
+		emit("ack_slot_errs", int64(s.AckSlotErrs))
+		emit("link_drops", int64(s.LinkDrops))
 		emit("bytes_on_wire", int64(s.BytesOnWire))
 		emit("busy_time_ns", int64(s.BusyTime))
 	})
@@ -287,7 +336,26 @@ func (b *base) offerToTaps(src frame.NodeID, f *frame.Frame) bool {
 			allStored = false
 		}
 	}
-	return anyAlive && allStored
+	ok := anyAlive && allStored
+	// Ack-slot interference: the recorder stored the frame, but the slot
+	// carrying its acknowledgement is garbled, so receivers must treat the
+	// frame as unpublished. The retransmit lands on the recorder's duplicate
+	// detection (the tap stores stay — only the verdict flips).
+	if ok && b.faults.AckSlotErrProb > 0 && b.rng.Bool(b.faults.AckSlotErrProb) {
+		b.stats.AckSlotErrs++
+		ok = false
+	}
+	return ok
+}
+
+// maybeCorrupt applies CorruptProb to a freshly cloned frame at transmission
+// time: a hit invalidates the checksum so every listener (taps included)
+// discards the frame through the medium's existing corrupt-frame path.
+func (b *base) maybeCorrupt(f *frame.Frame) {
+	if b.faults.CorruptProb > 0 && b.rng.Bool(b.faults.CorruptProb) {
+		f.Corrupt = true
+		b.stats.FramesCorrupted++
+	}
 }
 
 // deliver hands the frame to its destination station(s). withRecorderGate
@@ -298,11 +366,7 @@ func (b *base) deliver(src frame.NodeID, f *frame.Frame) {
 			if id == src || !b.faults.reachable(src, id) {
 				continue
 			}
-			if b.faults.ReceiverMissProb > 0 && b.rng.Bool(b.faults.ReceiverMissProb) {
-				continue
-			}
-			b.stats.FramesDelivered++
-			s.Receive(f.Clone())
+			b.deliverTo(src, id, s, f)
 		}
 		return
 	}
@@ -310,9 +374,25 @@ func (b *base) deliver(src frame.NodeID, f *frame.Frame) {
 	if !ok || !b.faults.reachable(src, f.Dst) {
 		return
 	}
+	b.deliverTo(src, f.Dst, s, f)
+}
+
+// deliverTo hands one receiver its private copy, applying the per-receiver
+// faults: interface miss, per-link loss, and injected duplication.
+func (b *base) deliverTo(src, dst frame.NodeID, s Station, f *frame.Frame) {
 	if b.faults.ReceiverMissProb > 0 && b.rng.Bool(b.faults.ReceiverMissProb) {
+		return
+	}
+	if p := b.faults.linkLossProb(src, dst); p > 0 && b.rng.Bool(p) {
+		b.stats.LinkDrops++
 		return
 	}
 	b.stats.FramesDelivered++
 	s.Receive(f.Clone())
+	// Injected duplication: the same wire transmission is handed up twice
+	// (a reflected frame); transport duplicate suppression must absorb it.
+	if b.faults.DupProb > 0 && b.rng.Bool(b.faults.DupProb) {
+		b.stats.FramesDuped++
+		s.Receive(f.Clone())
+	}
 }

@@ -37,6 +37,7 @@ func (m *Perfect) Send(src frame.NodeID, f *frame.Frame) {
 	m.busyUntil = end
 	m.stats.BusyTime += end - start
 	g := f.Clone()
+	m.maybeCorrupt(g)
 	m.sched.At(end, func() { m.complete(src, g) })
 }
 

@@ -85,7 +85,9 @@ func (m *Ring) Send(src frame.NodeID, f *frame.Frame) {
 		return
 	}
 	m.stats.FramesSent++
-	m.queue = append(m.queue, &ringTx{src: src, f: f.Clone()})
+	g := f.Clone()
+	m.maybeCorrupt(g)
+	m.queue = append(m.queue, &ringTx{src: src, f: g})
 	if !m.busy {
 		m.startNext()
 	}

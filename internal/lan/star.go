@@ -50,6 +50,7 @@ func (m *Star) Send(src frame.NodeID, f *frame.Frame) {
 	m.stats.BusyTime += outDone - start
 
 	g := f.Clone()
+	m.maybeCorrupt(g)
 	m.sched.At(inDone, func() { m.atHub(src, g, outDone) })
 }
 

@@ -21,6 +21,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"publishing/internal/demos"
 	"publishing/internal/frame"
@@ -211,6 +212,9 @@ type storedMsg struct {
 	Body    []byte
 	Link    *frame.Link
 	ArrSeq  uint64
+	// To is the destination the tap saw on the wire; pending messages need
+	// it so a later ack from the same stream can claim them (see observeAck).
+	To frame.ProcID
 	// SeenAt is when the tap heard the frame (pending-sweep bookkeeping;
 	// not persisted semantics).
 	SeenAt simtime.Time
@@ -386,6 +390,12 @@ func New(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log
 // Stats returns the recorder counters.
 func (r *Recorder) Stats() *Stats { return &r.stats }
 
+// SetStoreFailProb adjusts the tap's store-failure probability at runtime —
+// the chaos harness's in-model stand-in for stable-store write failures
+// (a failed store write and a failed tap store look identical to the rest of
+// the system: no recorder ack, publish-before-use blocks the frame).
+func (r *Recorder) SetStoreFailProb(p float64) { r.cfg.StoreFailProb = p }
+
 // Store exposes the stable store (experiments inspect its stats).
 func (r *Recorder) Store() *stablestore.Store { return r.store }
 
@@ -502,6 +512,7 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 		sm.Link = nil
 	}
 	sm.ArrSeq = 0
+	sm.To = f.To
 	sm.SeenAt = r.sched.Now()
 	r.pending[f.ID] = sm
 	r.stats.MessagesPending++
@@ -563,16 +574,44 @@ func (r *Recorder) observeAck(f *frame.Frame) {
 		return
 	}
 	delete(r.pending, f.ID)
+	// Cumulative-ack inference: the transport delivers each sender's stream
+	// in sequence order, so this ack also proves every lower-sequence
+	// message from the same sender to this process arrived — their own acks
+	// were snooped past (tap miss). Left pending they would be lost from
+	// the replay basis forever, since the sender has its ack and will never
+	// retransmit. Promote them, in sequence order, ahead of this arrival.
+	// (Caveat: a sender that exhausted retries below this sequence makes
+	// the inference wrong, but that run already lost a guaranteed message.)
+	var earlier []*storedMsg
+	for id, p := range r.pending {
+		if p.From == sm.From && p.To == e.Proc && id.Seq < sm.ID.Seq {
+			earlier = append(earlier, p)
+		}
+	}
+	sort.Slice(earlier, func(i, j int) bool { return earlier[i].ID.Seq < earlier[j].ID.Seq })
+	for _, p := range earlier {
+		delete(r.pending, p.ID)
+		if e.have[p.ID] {
+			r.recycleStored(p)
+			continue
+		}
+		r.stats.MissedArrivals++
+		r.recordArrival(e, p, "published (#%d in stream, inferred from later ack)")
+	}
+	r.recordArrival(e, sm, "published (#%d in stream)")
+}
+
+// recordArrival appends one message to a process's published stream.
+func (r *Recorder) recordArrival(e *procEntry, sm *storedMsg, format string) {
 	sm.ArrSeq = e.ArrSeqNext
 	e.ArrSeqNext++
 	e.Arrivals = append(e.Arrivals, *sm)
-	e.have[f.ID] = true
+	e.have[sm.ID] = true
 	r.stats.ArrivalsRecorded++
 	r.stats.BytesStored += uint64(len(sm.Body))
 	r.publishLat.Observe(int64(r.sched.Now() - sm.SeenAt))
 	r.persistMessage(e, sm)
-	r.log.AddMsg(trace.KindPublish, int(r.cfg.Node), sm.ID.String(), e.Proc.String(),
-		"published (#%d in stream)", sm.ArrSeq)
+	r.log.AddMsg(trace.KindPublish, int(r.cfg.Node), sm.ID.String(), e.Proc.String(), format, sm.ArrSeq)
 	r.releaseStored(sm)
 }
 
@@ -726,10 +765,25 @@ func (r *Recorder) applyCheckpoint(e *procEntry, n *demos.Notice) (complete bool
 			missing++
 		}
 	}
-	// Everything not retained is superseded by the checkpoint.
-	trimmed := make([]storedMsg, 0, len(byID))
-	for _, sm := range byID {
-		trimmed = append(trimmed, sm)
+	// Of the remainder, only messages the process actually read before the
+	// checkpoint are superseded. A message can be recorded yet neither read
+	// nor queued: published at the tap while every receiver copy was lost
+	// (corruption, receiver miss, ack-slot interference), so it is still in
+	// flight via retransmission. Trimming it would drop it from the replay
+	// basis forever. Trim exactly the consumed prefix of the read-order
+	// stream; keep the in-flight tail behind the queued messages (queue
+	// FIFO: a later arrival is read after everything queued now).
+	consumed := n.ReadCount - e.BaseReads
+	var trimmed []storedMsg
+	for i, sm := range reconstruct(e.Arrivals, e.Advisories) {
+		if _, unqueued := byID[sm.ID]; !unqueued {
+			continue // retained above, in queue order
+		}
+		if uint64(i) < consumed {
+			trimmed = append(trimmed, sm)
+		} else {
+			retained = append(retained, sm)
+		}
 	}
 	e.Arrivals = retained
 	e.Advisories = nil

@@ -104,11 +104,12 @@ func decodeRecords(b []byte) ([]Record, error) {
 
 // Stats counts store activity, feeding the recorder-disk utilization model.
 type Stats struct {
-	Appends    uint64
-	PageWrites uint64
-	PageReads  uint64
-	Compacted  uint64 // records dropped by compaction
-	BytesLive  uint64
+	Appends     uint64
+	PageWrites  uint64
+	PageReads   uint64
+	Compacted   uint64 // records dropped by compaction
+	BytesLive   uint64
+	WriteFaults uint64 // page writes failed by the injected fault hook
 }
 
 // Store is the paged stable store. It is safe for concurrent use (the
@@ -144,6 +145,12 @@ type Store struct {
 	// utilization model.
 	dirty map[uint64]bool
 	stats Stats
+	// writeFault, when set, is consulted before every logical page write; a
+	// non-nil return fails the write. Fault-injection hook for tests — the
+	// recorder itself treats stable-storage failure as beyond the paper's
+	// fault model (TMR'd, battery-backed disks, §3.3.4) and panics, so live
+	// chaos runs inject at the tap instead.
+	writeFault func() error
 
 	// file backing, optional.
 	f *os.File
@@ -289,6 +296,16 @@ func (s *Store) Stats() Stats {
 	return s.stats
 }
 
+// SetWriteFault installs (or, with nil, removes) a fault hook consulted
+// before every logical page write; a non-nil return error fails the write.
+// The hook runs with the store lock held and must not call back into the
+// store.
+func (s *Store) SetWriteFault(fn func() error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.writeFault = fn
+}
+
 // Append stores a record, returning the page it lands on. Records larger
 // than a page are split across dedicated pages transparently on read; for
 // simplicity here they get a page of their own (checkpoints are the only
@@ -387,6 +404,12 @@ func (s *Store) flushLocked() error {
 // boundary, so a burst of appends costs one syscall pass instead of one per
 // page write.
 func (s *Store) writePageLocked(id uint64) error {
+	if s.writeFault != nil {
+		if err := s.writeFault(); err != nil {
+			s.stats.WriteFaults++
+			return fmt.Errorf("stablestore: injected write fault on page %d: %w", id, err)
+		}
+	}
 	s.stats.PageWrites++
 	if s.f == nil {
 		return nil

@@ -366,3 +366,50 @@ func TestReadKeyMatchesReadAllFilter(t *testing.T) {
 		}
 	}
 }
+
+func TestWriteFaultInjection(t *testing.T) {
+	s := New()
+	if _, err := s.Append(msg("k", 1, "survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	fail := true
+	s.SetWriteFault(func() error {
+		if fail {
+			return fmt.Errorf("disk offline")
+		}
+		return nil
+	})
+	if _, err := s.Append(msg("k", 2, "buffered")); err != nil {
+		t.Fatalf("buffered append should not touch the page layer: %v", err)
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush succeeded despite injected write fault")
+	}
+	if got := s.Stats().WriteFaults; got == 0 {
+		t.Fatal("write fault not counted")
+	}
+
+	// An oversized record hits the page layer synchronously.
+	big := Record{Kind: KindCheckpoint, Key: "k", Seq: 3, Data: make([]byte, 2*PageSize)}
+	if _, err := s.Append(big); err == nil {
+		t.Fatal("oversized append succeeded despite injected write fault")
+	}
+
+	// Heal: the store keeps working and earlier data is intact.
+	fail = false
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetWriteFault(nil)
+	recs, err := s.ReadKey("k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || string(recs[0].Data) != "survives" {
+		t.Fatalf("pre-fault record lost: %+v", recs)
+	}
+}

@@ -48,6 +48,11 @@ type Config struct {
 	// "many times greater than the time for a message to follow the longest
 	// path through the network".
 	DupCacheSize int
+	// DisableDupSuppression turns the duplicate-detection guards off, so a
+	// duplicated or retransmitted frame is delivered upward again. Negative
+	// testing only: the chaos harness uses it to prove its exactly-once
+	// invariant actually fires when the guard is broken.
+	DisableDupSuppression bool
 	// Window is the number of unacknowledged guaranteed frames allowed in
 	// transit from this processor. 1 reproduces the thesis implementation;
 	// >1 is the windowing extension it anticipates (per destination).
@@ -440,7 +445,7 @@ func (e *Endpoint) handleGuaranteed(f *frame.Frame) {
 		if _, dup := e.held[f.ID]; dup {
 			return // already holding a copy
 		}
-		if e.dup.contains(f.ID) {
+		if !e.cfg.DisableDupSuppression && e.dup.contains(f.ID) {
 			// Already accepted earlier; the ack was lost. Re-ack.
 			e.ack(f)
 			e.stats.DupsSuppressed++
@@ -482,7 +487,7 @@ func (e *Endpoint) handleRecorderAck(f *frame.Frame) {
 // so the recorder's ack-order inference (§4.4.1) remains the true order in
 // which messages reached the process queues.
 func (e *Endpoint) accept(f *frame.Frame) {
-	if e.dup.contains(f.ID) {
+	if !e.cfg.DisableDupSuppression && e.dup.contains(f.ID) {
 		// "If the identifier of a received message is found in this cache,
 		// then the message is discarded as a duplicate" — but the ack must
 		// be repeated, since its loss is why the duplicate exists.
@@ -524,6 +529,11 @@ func (e *Endpoint) advance(st *rxStream, f *frame.Frame) {
 	switch {
 	case seq < st.expected:
 		// Already delivered before the dup cache forgot it; just re-ack.
+		if e.cfg.DisableDupSuppression {
+			// Broken-guard mode: hand the duplicate up anyway so the chaos
+			// exactly-once invariant has something real to catch.
+			e.deliverUp(f)
+		}
 		e.stats.DupsSuppressed++
 		e.ack(f)
 	case seq == st.expected:

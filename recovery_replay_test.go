@@ -188,3 +188,85 @@ func TestChunkedCheckpointTransfer(t *testing.T) {
 		t.Fatalf("replayed %d messages; the checkpoint should have shortened replay", rs.MessagesReplayed)
 	}
 }
+
+// The recorder itself crashes while a chunked checkpoint transfer is in
+// flight. The half-shipped transfer dies with it; after the recorder's
+// database rebuild the watchdog re-detects the still-dead worker, and a
+// fresh recovery re-ships the checkpoint from stable store. The computation
+// must converge exactly as if the outage had not happened.
+func TestRecorderRestartMidChunkedTransfer(t *testing.T) {
+	cfg := DefaultConfig(3)
+	c := New(cfg)
+	sink := &witnessSink{}
+	registerWitness(c, sink)
+	pad := make([]byte, 5000)
+	for i := range pad {
+		pad[i] = byte(i*11 + 5)
+	}
+	c.Registry().RegisterMachine("worker", func(args []byte) Machine {
+		st := &padWorkerState{Pad: pad}
+		return &testMachine{
+			init: func(ctx *PCtx) {
+				if lid, err := ctx.ServiceLink("witness"); err == nil {
+					st.W.Witness, st.W.HasOut = lid, true
+				}
+			},
+			handle: func(ctx *PCtx, m Msg) {
+				st.W.Count++
+				st.W.Sum += int(m.Body[0])
+				if st.W.HasOut {
+					_ = ctx.Send(st.W.Witness, []byte(fmt.Sprintf("step=%d sum=%d", st.W.Count, st.W.Sum)), NoLink)
+				}
+			},
+			snap: func() ([]byte, error) { return gobEnc(st) },
+			rest: func(b []byte) error { return gobDec(b, st) },
+		}
+	})
+	registerProducer(c, 14, 200*simtime.Millisecond)
+	wit, err := c.Spawn(2, ProcSpec{Name: "witness", Recoverable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetService("witness", wit)
+	worker, err := c.Spawn(1, ProcSpec{Name: "worker", Recoverable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetService("worker", worker)
+	if _, err := c.Spawn(0, ProcSpec{Name: "producer", Recoverable: true}); err != nil {
+		t.Fatal(err)
+	}
+	c.Scheduler().At(1500*simtime.Millisecond, func() { _, _ = c.Kernel(1).CheckpointNow(worker) })
+	c.Scheduler().At(2*simtime.Second, func() { c.CrashProcess(worker) })
+	// Run until the recovery's chunked transfer has started but (with more
+	// chunks pending for a ~5 KB checkpoint) not finished — then kill the
+	// recorder mid-stream.
+	if !c.RunUntil(func() bool { return c.Recorder().Stats().CkChunksSent >= 1 }, 60*simtime.Second) {
+		t.Fatal("chunked checkpoint transfer never started")
+	}
+	chunksBefore := c.Recorder().Stats().CkChunksSent
+	recoveriesBefore := c.Recorder().Stats().RecoveriesCompleted
+	if recoveriesBefore != 0 {
+		t.Fatalf("recovery already complete (%d) before the recorder crash; transfer was not in flight", recoveriesBefore)
+	}
+	c.CrashRecorder()
+	c.Scheduler().After(2*simtime.Second, func() {
+		if err := c.RestartRecorder(); err != nil {
+			t.Errorf("recorder restart: %v", err)
+		}
+	})
+	c.Run(3 * simtime.Minute)
+	expectSteps(t, sink, 14)
+	rs := c.Recorder().Stats()
+	if rs.RecoveriesCompleted == 0 {
+		t.Fatal("recovery never completed after the recorder outage")
+	}
+	if rs.CkChunksSent <= chunksBefore {
+		t.Fatalf("chunks sent stayed at %d; the restarted recovery never re-shipped the checkpoint", rs.CkChunksSent)
+	}
+	// Replay still starts from the checkpoint after the rebuild, not from
+	// the initial image.
+	if rs.MessagesReplayed >= 14 {
+		t.Fatalf("replayed %d messages; the stable-store checkpoint was lost across the restart", rs.MessagesReplayed)
+	}
+}
