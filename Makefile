@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery sweep
+.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport sweep
 
-check: vet build test race sweep-verify chaos fuzz
+check: vet build test race sweep-verify chaos fuzz bench-transport
 
 vet:
 	$(GO) vet ./...
@@ -63,6 +63,19 @@ endif
 bench-recovery:
 	$(GO) test -bench 'BenchmarkEndToEndRecovery|BenchmarkRecoveryReplay' -run '^$$' . \
 		| $(GO) run ./cmd/benchjson -after BENCH_recovery.json batched, windowed replay pipeline
+
+# The steady-state wire-efficiency trajectory: thesis per-message transport
+# vs coalescing + delayed acks + adaptive RTO, as frames on the wire, ack
+# frames per guaranteed message, and virtual completion time. The default
+# (check-time) run re-measures and prints the snapshot without touching the
+# committed BENCH_transport.json; regenerate it with
+# `make bench-transport OUT=BENCH_transport.json` after deleting the old file.
+bench-transport:
+ifdef OUT
+	$(GO) test -bench BenchmarkTransportWire -run '^$$' . | $(GO) run ./cmd/benchjson -o $(OUT) coalescing + delayed acks + adaptive RTO vs thesis per-message wire
+else
+	$(GO) test -bench BenchmarkTransportWire -run '^$$' . | $(GO) run ./cmd/benchjson
+endif
 
 # Regenerate BENCH_sweep.json (parallel-vs-serial determinism proof).
 sweep:

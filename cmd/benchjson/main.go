@@ -238,7 +238,43 @@ func runDiff(paths []string) {
 		fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json [new.json]")
 		os.Exit(1)
 	}
+	if missing, extra := nameSetDiff(old, cur); len(missing) > 0 || len(extra) > 0 {
+		// Disjoint or drifted benchmark sets mean the snapshots measure
+		// different things; a per-row delta over the intersection would
+		// read as a perf change when it is really a harness change.
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: only in old snapshot: %s\n", strings.Join(missing, ", "))
+		}
+		if len(extra) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: only in new snapshot: %s\n", strings.Join(extra, ", "))
+		}
+		fmt.Fprintln(os.Stderr, "benchjson: benchmark name sets differ; re-run both sides with the same -bench selection")
+		os.Exit(1)
+	}
 	diffSnapshots(os.Stdout, old, cur)
+}
+
+// nameSetDiff reports benchmark names present in only one snapshot.
+func nameSetDiff(old, cur Snapshot) (missing, extra []string) {
+	o := make(map[string]bool, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		o[b.Name] = true
+	}
+	n := make(map[string]bool, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		n[b.Name] = true
+		if !o[b.Name] {
+			extra = append(extra, b.Name)
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if !n[b.Name] {
+			missing = append(missing, b.Name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(extra)
+	return missing, extra
 }
 
 // diffSnapshots writes one row per (benchmark, metric) with the relative

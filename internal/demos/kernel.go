@@ -159,6 +159,16 @@ func NewKernel(node frame.NodeID, env Env) *Kernel {
 	}
 	k.ep = transport.New(node, env.Medium, env.Sched, env.Log, env.Transport)
 	k.ep.Deliver = k.deliverFrame
+	k.ep.HoldUndelivered = func(f *frame.Frame) bool {
+		// A refusal is transient only while the destination process exists
+		// here and is being recovered; an unknown process is dead as far as
+		// this node can tell, and the stream must not wait for it.
+		if k.crashed {
+			return false
+		}
+		p := k.procs[f.To]
+		return p != nil && (p.state == psCrashed || p.recovering)
+	}
 	k.ep.OnGiveUp = func(f *frame.Frame) {
 		// If the destination moved since the frame was queued, try again at
 		// the new location; otherwise the message is lost with its process.

@@ -1,0 +1,177 @@
+package frame
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func bundleCorpus() []BundleRec {
+	return []BundleRec{
+		{
+			Type: Guaranteed,
+			ID:   MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 7},
+			From: ProcID{Node: 0, Local: 1}, To: ProcID{Node: 1, Local: 2},
+			Channel: 3, Code: 99, XSeq: 1<<48 | 12,
+			Body: []byte("step=7 sum=42"),
+		},
+		{
+			Type: Guaranteed,
+			ID:   MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 8},
+			From: ProcID{Node: 0, Local: 1}, To: ProcID{Node: 1, Local: 2},
+			XSeq: 1<<48 | 13, DeliverToKernel: true,
+			HasLink: true,
+			Link:    Link{To: ProcID{Node: 0, Local: 1}, Channel: 9, Code: 4, DeliverToKernel: true},
+		},
+		{
+			Type: Unguaranteed,
+			From: ProcID{Node: 0, Local: 0}, To: ProcID{Node: 1, Local: 0},
+			Body: []byte{0xfe},
+		},
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	recs := bundleCorpus()
+	body := BeginBundle(nil)
+	want := BundleHdrLen
+	for i := range recs {
+		body = AppendBundleRec(body, &recs[i])
+		want += recs[i].EncodedLen()
+	}
+	body = FinishBundle(body, 0, len(recs))
+	if len(body) != want {
+		t.Fatalf("encoded %d bytes, EncodedLen sums to %d", len(body), want)
+	}
+
+	got, err := DecodeBundle(body, nil)
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		g, w := got[i], recs[i]
+		if len(g.Body) == 0 {
+			g.Body = nil
+		}
+		if !bytes.Equal(g.Body, w.Body) {
+			t.Errorf("record %d body mismatch: %q vs %q", i, g.Body, w.Body)
+		}
+		g.Body, w.Body = nil, nil
+		if !reflect.DeepEqual(g, w) {
+			t.Errorf("record %d mismatch:\n got %+v\nwant %+v", i, g, w)
+		}
+	}
+	// Zero-copy: decoded bodies alias the batch body.
+	if len(got[0].Body) > 0 && &got[0].Body[0] != &body[BundleHdrLen+BundleRecFixed] {
+		t.Error("decoded record body does not alias the bundle body")
+	}
+}
+
+func TestBundleRecExpand(t *testing.T) {
+	bundle := &Frame{Type: Bundle, Src: 0, Dst: 1, XLow: 1<<48 | 10}
+	rec := bundleCorpus()[1]
+	f := rec.Expand(bundle)
+	if f.Type != Guaranteed || f.Src != 0 || f.Dst != 1 || f.XLow != bundle.XLow {
+		t.Fatalf("expanded frame lost addressing: %+v", f)
+	}
+	if f.ID != rec.ID || f.XSeq != rec.XSeq || !f.DeliverToKernel {
+		t.Fatalf("expanded frame lost record fields: %+v", f)
+	}
+	if f.PassedLink == nil || *f.PassedLink != rec.Link {
+		t.Fatalf("expanded frame lost the passed link: %+v", f.PassedLink)
+	}
+
+	// RecOf is the inverse.
+	var back BundleRec
+	back.RecOf(f)
+	if !reflect.DeepEqual(back, rec) {
+		t.Fatalf("RecOf(Expand(rec)) != rec:\n got %+v\nwant %+v", back, rec)
+	}
+}
+
+func TestBundleDecodeRejectsGarbage(t *testing.T) {
+	recs := bundleCorpus()
+	body := BeginBundle(nil)
+	for i := range recs {
+		body = AppendBundleRec(body, &recs[i])
+	}
+	body = FinishBundle(body, 0, len(recs))
+
+	cases := [][]byte{
+		nil,
+		{0},
+		body[:len(body)-1],                       // truncated record
+		append(body[:len(body):len(body)], 0xaa), // trailing garbage
+	}
+	for i, b := range cases {
+		if _, err := DecodeBundle(b, nil); err == nil {
+			t.Errorf("case %d: decode accepted malformed body", i)
+		} else if !errors.Is(err, ErrShortFrame) && !errors.Is(err, ErrBadType) {
+			t.Errorf("case %d: undocumented error %v", i, err)
+		}
+	}
+
+	bad := append([]byte(nil), body...)
+	bad[BundleHdrLen] = uint8(Token) // records cannot be control frames
+	if _, err := DecodeBundle(bad, nil); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad record type not rejected: %v", err)
+	}
+}
+
+func TestAckIDListRoundTrip(t *testing.T) {
+	ids := []MsgID{
+		{Sender: ProcID{Node: 0, Local: 1}, Seq: 7},
+		{Sender: ProcID{Node: 2, Local: 5}, Seq: 1},
+	}
+	var body []byte
+	for _, id := range ids {
+		body = AppendAckID(body, id)
+	}
+	if len(body) != len(ids)*AckIDLen {
+		t.Fatalf("encoded %d bytes, want %d", len(body), len(ids)*AckIDLen)
+	}
+	got, err := DecodeAckIDs(body, nil)
+	if err != nil {
+		t.Fatalf("DecodeAckIDs: %v", err)
+	}
+	if !reflect.DeepEqual(got, ids) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, ids)
+	}
+	if _, err := DecodeAckIDs(body[:AckIDLen+3], nil); err == nil {
+		t.Fatal("truncated id list not rejected")
+	}
+}
+
+func TestAckBlockRoundTrip(t *testing.T) {
+	f := &Frame{
+		Type: Guaranteed, Src: 1, Dst: 0,
+		ID:   MsgID{Sender: ProcID{Node: 1, Local: 4}, Seq: 3},
+		From: ProcID{Node: 1, Local: 4}, To: ProcID{Node: 0, Local: 1},
+		XSeq: 3, Body: []byte("reverse data"),
+		AckCumSet: true, AckCum: 1<<48 | 6,
+		AckRecs: []AckRec{
+			{ID: MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 7}, Rcv: ProcID{Node: 1, Local: 2}},
+		},
+	}
+	enc := f.Encode()
+	if len(enc) != f.WireLen() {
+		t.Fatalf("WireLen %d but encoded %d bytes", f.WireLen(), len(enc))
+	}
+	g, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !g.AckCumSet || g.AckCum != f.AckCum || !reflect.DeepEqual(g.AckRecs, f.AckRecs) {
+		t.Fatalf("ack block did not round trip: %+v", g)
+	}
+	// Clone must deep-copy the records.
+	c := f.Clone()
+	c.AckRecs[0].ID.Seq = 999
+	if f.AckRecs[0].ID.Seq == 999 {
+		t.Fatal("Clone shares AckRecs storage")
+	}
+}

@@ -119,6 +119,12 @@ const (
 	// Token is the circulating token of the ring medium (§6.1.2); it never
 	// leaves the media layer.
 	Token
+	// Bundle coalesces several small guaranteed/unguaranteed messages for
+	// the same destination node into one frame (the steady-state analogue
+	// of the recovery replay batches). The Body is a sequence of BundleRec
+	// records; the frame-level XLow applies to every guaranteed record, as
+	// they all belong to the one src->dst transport stream.
+	Bundle
 )
 
 var typeNames = map[Type]string{
@@ -127,6 +133,7 @@ var typeNames = map[Type]string{
 	Ack:          "ack",
 	RecorderAck:  "recorder-ack",
 	Token:        "token",
+	Bundle:       "bundle",
 }
 
 // String returns the frame type name.
@@ -184,21 +191,52 @@ type Frame struct {
 	// Body is uninterpreted payload.
 	Body []byte
 
+	// AckCumSet/AckCum/AckRecs are the piggybacked acknowledgement block.
+	// Any gated frame may carry it in the reverse direction of a data
+	// stream, so steady-state traffic needs no dedicated ack frames (the
+	// delayed/cumulative scheme the LLFT line of systems uses). AckCum,
+	// valid when AckCumSet, is a cumulative stream acknowledgement in XSeq
+	// layout (epoch<<48 | seq): every guaranteed frame the sender put on
+	// the Dst->Src stream with that epoch and a sequence <= seq is
+	// acknowledged. AckRecs lists individually acknowledged messages in the
+	// order they were accepted at the receiver — the recorder snoops the
+	// list to learn arrival order exactly as it did standalone Ack frames
+	// (§4.4.1).
+	AckCumSet bool
+	AckCum    uint64
+	AckRecs   []AckRec
+
 	// Corrupt marks a frame whose checksum has been invalidated — either by
 	// injected noise or deliberately by the ring recorder when it failed to
 	// store the message (§6.1.2). The link layer discards corrupt frames.
 	Corrupt bool
 }
 
-// headerLen is the encoded size of everything except Body and PassedLink.
+// AckRec is one piggybacked end-to-end acknowledgement: the message id and
+// the process that accepted it (the legacy standalone Ack frame's From).
+type AckRec struct {
+	ID  MsgID
+	Rcv ProcID
+}
+
+// headerLen is the encoded size of everything except Body, PassedLink, and
+// the optional ack block.
 const headerLen = 1 + 4 + 4 + // type, src, dst
 	4 + 4 + 8 + // ID (sender node, local, seq)
 	4 + 4 + 4 + 4 + // From, To
-	2 + 4 + 8 + 8 + 1 + 1 + // channel, code, xseq, xlow, deliverToKernel, hasLink
+	2 + 4 + 8 + 8 + 1 + 1 + 1 + // channel, code, xseq, xlow, deliverToKernel, hasLink, hasAcks
 	4 // body length
 
 // linkLen is the encoded size of a passed link.
 const linkLen = 4 + 4 + 2 + 4 + 1
+
+// ackBlockLen is the fixed part of an encoded ack block (cumSet, cum,
+// record count); AckRecLen is each piggybacked acknowledgement record.
+const ackBlockLen = 1 + 8 + 2
+
+// AckRecLen is the encoded size of one AckRec, exported so the transport
+// can budget how many acknowledgements fit beside a data payload.
+const AckRecLen = 4 + 4 + 8 + 4 + 4
 
 // checksumLen is the trailing rotating checksum.
 const checksumLen = 4
@@ -221,8 +259,14 @@ func (f *Frame) WireLen() int {
 	if f.PassedLink != nil {
 		n += linkLen
 	}
+	if f.hasAcks() {
+		n += ackBlockLen + len(f.AckRecs)*AckRecLen
+	}
 	return n
 }
+
+// hasAcks reports whether the frame carries an ack block on the wire.
+func (f *Frame) hasAcks() bool { return f.AckCumSet || len(f.AckRecs) > 0 }
 
 // Clone returns a deep copy; media hand copies to each station so that one
 // receiver mutating a body cannot corrupt another's view (the wire is
@@ -236,6 +280,9 @@ func (f *Frame) Clone() *Frame {
 		l := *f.PassedLink
 		g.PassedLink = &l
 	}
+	if f.AckRecs != nil {
+		g.AckRecs = append([]AckRec(nil), f.AckRecs...)
+	}
 	return &g
 }
 
@@ -244,6 +291,8 @@ func (f *Frame) String() string {
 	switch f.Type {
 	case Ack, RecorderAck:
 		return fmt.Sprintf("%s(%s) n%d->n%d", f.Type, f.ID, f.Src, f.Dst)
+	case Bundle:
+		return fmt.Sprintf("bundle n%d->n%d len=%d acks=%d", f.Src, f.Dst, len(f.Body), len(f.AckRecs))
 	case Token:
 		return "token"
 	default:
@@ -303,12 +352,28 @@ func (f *Frame) AppendEncode(buf []byte) []byte {
 	buf = binary.BigEndian.AppendUint64(buf, f.XLow)
 	buf = appendBool(buf, f.DeliverToKernel)
 	buf = appendBool(buf, f.PassedLink != nil)
+	buf = appendBool(buf, f.hasAcks())
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(f.Body)))
 	if f.PassedLink != nil {
 		buf = appendProc(buf, f.PassedLink.To)
 		buf = binary.BigEndian.AppendUint16(buf, f.PassedLink.Channel)
 		buf = binary.BigEndian.AppendUint32(buf, f.PassedLink.Code)
 		buf = appendBool(buf, f.PassedLink.DeliverToKernel)
+	}
+	if f.hasAcks() {
+		buf = appendBool(buf, f.AckCumSet)
+		cum := f.AckCum
+		if !f.AckCumSet {
+			cum = 0
+		}
+		buf = binary.BigEndian.AppendUint64(buf, cum)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(f.AckRecs)))
+		for i := range f.AckRecs {
+			r := &f.AckRecs[i]
+			buf = appendProc(buf, r.ID.Sender)
+			buf = binary.BigEndian.AppendUint64(buf, r.ID.Seq)
+			buf = appendProc(buf, r.Rcv)
+		}
 	}
 	buf = append(buf, f.Body...)
 
@@ -375,6 +440,7 @@ func DecodeInto(f *Frame, b []byte) error {
 	f.XLow = get64()
 	f.DeliverToKernel = getBool()
 	hasLink := getBool()
+	hasAcks := getBool()
 	bodyLen := int(get32())
 	f.Corrupt = false
 	if hasLink {
@@ -392,6 +458,37 @@ func DecodeInto(f *Frame, b []byte) error {
 		f.PassedLink = l
 	} else {
 		f.PassedLink = nil
+	}
+	reuseRecs := f.AckRecs
+	f.AckCumSet, f.AckCum, f.AckRecs = false, 0, nil
+	if hasAcks {
+		if len(payload)-pos < ackBlockLen {
+			return ErrShortFrame
+		}
+		f.AckCumSet = getBool()
+		f.AckCum = get64()
+		if !f.AckCumSet {
+			f.AckCum = 0
+		}
+		n := int(get16())
+		if len(payload)-pos < n*AckRecLen {
+			return ErrShortFrame
+		}
+		if n > 0 {
+			recs := reuseRecs
+			if cap(recs) < n {
+				recs = make([]AckRec, 0, n)
+			}
+			recs = recs[:0]
+			for i := 0; i < n; i++ {
+				var r AckRec
+				r.ID.Sender = getProc()
+				r.ID.Seq = get64()
+				r.Rcv = getProc()
+				recs = append(recs, r)
+			}
+			f.AckRecs = recs
+		}
 	}
 	if len(payload)-pos != bodyLen {
 		return ErrShortFrame

@@ -26,6 +26,23 @@ func frameCorpus() []*Frame {
 			Body:            []byte{0x00},
 		},
 		{Type: Ack, Src: 1, Dst: 0, ID: MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 7}, XSeq: 12},
+		{
+			Type: Ack, Src: 1, Dst: 0,
+			ID:        MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 7},
+			AckCumSet: true, AckCum: 1<<48 | 6,
+			AckRecs: []AckRec{
+				{ID: MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 7}, Rcv: ProcID{Node: 1, Local: 2}},
+				{ID: MsgID{Sender: ProcID{Node: 0, Local: 3}, Seq: 2}, Rcv: ProcID{Node: 1, Local: 2}},
+			},
+		},
+		{
+			Type: Guaranteed, Src: 1, Dst: 0,
+			ID:   MsgID{Sender: ProcID{Node: 1, Local: 4}, Seq: 3},
+			From: ProcID{Node: 1, Local: 4}, To: ProcID{Node: 0, Local: 1},
+			XSeq: 3, Body: []byte("reverse data"),
+			AckRecs: []AckRec{{ID: MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 9}, Rcv: ProcID{Node: 1, Local: 2}}},
+		},
+		{Type: Bundle, Src: 0, Dst: 1, XLow: 1<<48 | 10, Body: []byte("opaque bundle records")},
 		{Type: RecorderAck, Src: 3, Dst: Broadcast, ID: MsgID{Sender: ProcID{Node: 0, Local: 1}, Seq: 8}},
 		{Type: Unguaranteed, Src: 0, Dst: 2, From: ProcID{Node: 0, Local: 0}, To: ProcID{Node: 2, Local: 0}, Body: []byte{0x01}},
 		{Type: Token},

@@ -210,7 +210,7 @@ func NewAckEther(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *t
 	m := NewEther(cfg, sched, rng, log)
 	m.gateOnTaps = true
 	m.extraReserve = func(f *frame.Frame) simtime.Time {
-		if f.Type != frame.Guaranteed {
+		if f.Type != frame.Guaranteed && f.Type != frame.Bundle {
 			return 0
 		}
 		nTaps := len(m.taps)

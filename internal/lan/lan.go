@@ -238,7 +238,9 @@ func (s *Stats) Utilization(window simtime.Time) float64 {
 // the recorder can block the transmission"); a lost ack would otherwise let
 // a sender stop retransmitting a message whose arrival the recorder never
 // learned about.
-func gated(t frame.Type) bool { return t == frame.Guaranteed || t == frame.Ack }
+func gated(t frame.Type) bool {
+	return t == frame.Guaranteed || t == frame.Ack || t == frame.Bundle
+}
 
 // base carries the plumbing every medium shares.
 type base struct {
@@ -247,9 +249,14 @@ type base struct {
 	rng      *simtime.Rand
 	log      *trace.Log
 	stations map[frame.NodeID]Station
-	taps     []tapEntry
-	faults   FaultPlan
-	stats    Stats
+	// order lists attached station ids sorted ascending. Broadcast delivery
+	// iterates it instead of the map: per-receiver rng draws (interface miss,
+	// link loss, duplication) must happen in a fixed order or map iteration
+	// would leak nondeterminism into the fault stream.
+	order  []frame.NodeID
+	taps   []tapEntry
+	faults FaultPlan
+	stats  Stats
 }
 
 type tapEntry struct {
@@ -267,7 +274,18 @@ func newBase(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace
 	}
 }
 
-func (b *base) Attach(id frame.NodeID, s Station) { b.stations[id] = s }
+func (b *base) Attach(id frame.NodeID, s Station) {
+	if _, known := b.stations[id]; !known {
+		i := 0
+		for i < len(b.order) && b.order[i] < id {
+			i++
+		}
+		b.order = append(b.order, 0)
+		copy(b.order[i+1:], b.order[i:])
+		b.order[i] = id
+	}
+	b.stations[id] = s
+}
 
 func (b *base) AttachTap(id frame.NodeID, t Tap) {
 	for i, e := range b.taps {
@@ -362,11 +380,11 @@ func (b *base) maybeCorrupt(f *frame.Frame) {
 // media call it only after a positive tap verdict.
 func (b *base) deliver(src frame.NodeID, f *frame.Frame) {
 	if f.Dst == frame.Broadcast {
-		for id, s := range b.stations {
+		for _, id := range b.order {
 			if id == src || !b.faults.reachable(src, id) {
 				continue
 			}
-			b.deliverTo(src, id, s, f)
+			b.deliverTo(src, id, b.stations[id], f)
 		}
 		return
 	}

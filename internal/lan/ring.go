@@ -186,11 +186,13 @@ func (m *Ring) circulate(tx *ringTx) {
 	if usable {
 		delivered := false
 		if tx.f.Dst == frame.Broadcast {
-			for id, s := range m.stations {
-				if id == tx.src {
+			// Walk the ring positions, not the station map: per-receiver rng
+			// draws must happen in a deterministic order.
+			for _, id := range m.order {
+				s, isStation := m.stations[id]
+				if !isStation || id == tx.src {
 					continue
 				}
-				s := s
 				at, ok := deliverAt(id)
 				if !ok {
 					continue

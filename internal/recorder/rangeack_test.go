@@ -1,0 +1,90 @@
+package recorder
+
+import (
+	"fmt"
+	"testing"
+
+	"publishing/internal/frame"
+)
+
+// gframeAB returns a stored-but-unacked guaranteed frame procA→procB.
+func gframeAB(seq uint64) *frame.Frame {
+	return &frame.Frame{
+		Type: frame.Guaranteed, Src: 0, Dst: 1,
+		ID: frame.MsgID{Sender: procA(), Seq: seq}, From: procA(), To: procB(),
+		Body: []byte(fmt.Sprintf("m%d", seq)),
+	}
+}
+
+// A delayed-ack flush covers several messages with one Ack frame whose
+// payload lists the accepted records in acceptance order; the recorder must
+// credit each record exactly as it would a standalone ack.
+func TestObserveRangeAckRecords(t *testing.T) {
+	r, _, _ := newBench(t)
+	register(r, procA(), "a")
+	register(r, procB(), "b")
+	for seq := uint64(1); seq <= 3; seq++ {
+		if !r.Observe(gframeAB(seq)) {
+			t.Fatalf("tap rejected frame %d", seq)
+		}
+	}
+	if _, _, _, _, queued := r.Entry(procB()); queued != 0 {
+		t.Fatalf("arrivals before any ack = %d, want 0", queued)
+	}
+	// One cumulative Ack frame carries all three records, acceptance order.
+	ack := &frame.Frame{
+		Type: frame.Ack, Src: 1, Dst: 0,
+		ID: frame.MsgID{Sender: procA(), Seq: 3}, From: procB(), To: procA(),
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		ack.AckRecs = append(ack.AckRecs, frame.AckRec{
+			ID: frame.MsgID{Sender: procA(), Seq: seq}, Rcv: procB(),
+		})
+	}
+	r.Observe(ack)
+	if got := r.Stats().AcksSeen; got != 3 {
+		t.Fatalf("AcksSeen = %d, want one per record", got)
+	}
+	if _, _, _, _, queued := r.Entry(procB()); queued != 3 {
+		t.Fatalf("arrivals after range ack = %d, want 3", queued)
+	}
+	stream := r.StreamSummary(procB())
+	if len(stream) != 3 {
+		t.Fatalf("stream = %d messages", len(stream))
+	}
+	for i, id := range stream {
+		if id.Seq != uint64(i+1) {
+			t.Fatalf("acceptance order broken at %d: %v", i, id)
+		}
+	}
+	// A retransmitted copy and a duplicate range ack change nothing.
+	r.Observe(gframeAB(2))
+	r.Observe(ack)
+	if _, _, _, _, queued := r.Entry(procB()); queued != 3 {
+		t.Fatalf("arrivals after duplicates = %d, want 3", queued)
+	}
+}
+
+// Records listed out of a frame's header: the payload path must not fall
+// back to the header id/From fields (which name only the last record).
+func TestRangeAckHeaderFieldsIgnored(t *testing.T) {
+	r, _, _ := newBench(t)
+	register(r, procA(), "a")
+	register(r, procB(), "b")
+	if !r.Observe(gframeAB(1)) {
+		t.Fatal("tap rejected")
+	}
+	// Header names seq 9 (never sent); the payload names the real message.
+	ack := &frame.Frame{
+		Type: frame.Ack, Src: 1, Dst: 0,
+		ID: frame.MsgID{Sender: procA(), Seq: 9}, From: procB(), To: procA(),
+		AckRecs: []frame.AckRec{{ID: frame.MsgID{Sender: procA(), Seq: 1}, Rcv: procB()}},
+	}
+	r.Observe(ack)
+	if _, _, _, _, queued := r.Entry(procB()); queued != 1 {
+		t.Fatalf("arrivals = %d, want 1 from the payload record", queued)
+	}
+	if got := r.Stats().AcksSeen; got != 1 {
+		t.Fatalf("AcksSeen = %d, want 1", got)
+	}
+}

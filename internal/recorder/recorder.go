@@ -309,6 +309,13 @@ type Recorder struct {
 	// that retire them, so the tap's steady state stops allocating a node,
 	// body, and link per overheard frame.
 	smFree []*storedMsg
+	// recScratch is the tap's reused bundle-decode buffer.
+	recScratch []frame.BundleRec
+	// ackq queues recorder acknowledgements awaiting their publish
+	// processing time; one flush timer drains every ready entry into a
+	// single batched RecorderAck frame.
+	ackq        []recAck
+	ackTimerSet bool
 
 	stats Stats
 	// publishLat observes tap-hear to publish (arrival recorded) latency in
@@ -424,17 +431,74 @@ func (r *Recorder) Observe(f *frame.Frame) bool {
 	if r.crashed {
 		return false
 	}
+	ok := true
 	switch f.Type {
 	case frame.Guaranteed:
-		if r.cfg.StoreFailProb > 0 && r.rng.Bool(r.cfg.StoreFailProb) {
-			r.stats.StoreFailures++
-			return false
+		if r.storeFailed() {
+			ok = false
+		} else {
+			r.observeMessage(f)
 		}
-		r.observeMessage(f)
+	case frame.Bundle:
+		ok = r.observeBundle(f)
 	case frame.Ack:
-		r.observeAck(f)
+		if len(f.AckRecs) == 0 {
+			r.observeAck(f)
+		}
 	}
-	return true
+	if ok {
+		// Acknowledgement records piggybacked on any gated frame reach the
+		// recorder through the same stored frame — a blocked frame's payload
+		// is ignored because its receivers never see it either.
+		r.observeAckPayload(f)
+	}
+	return ok
+}
+
+// storeFailed draws the injected store-failure fault.
+func (r *Recorder) storeFailed() bool {
+	if r.cfg.StoreFailProb > 0 && r.rng.Bool(r.cfg.StoreFailProb) {
+		r.stats.StoreFailures++
+		return true
+	}
+	return false
+}
+
+// observeBundle stores every guaranteed record of a coalesced frame,
+// drawing the store-failure fault per record (the records land on distinct
+// database pages). Any failed record blocks the whole frame — the medium
+// gates per frame — and the sender's individual retransmissions land on the
+// duplicate checks for the records that did store.
+func (r *Recorder) observeBundle(f *frame.Frame) bool {
+	recs, err := frame.DecodeBundle(f.Body, r.recScratch)
+	if err != nil {
+		r.recScratch = recs[:0]
+		r.stats.StoreFailures++
+		return false
+	}
+	r.recScratch = recs
+	ok := true
+	for i := range recs {
+		if recs[i].Type != frame.Guaranteed {
+			continue
+		}
+		if r.storeFailed() {
+			ok = false
+			continue
+		}
+		r.observeMessage(recs[i].Expand(f))
+	}
+	return ok
+}
+
+// observeAckPayload feeds piggybacked acknowledgement records to the
+// arrival-order machinery, in the acceptance order the receiver recorded
+// them (§4.4.1's tracing, one frame carrying several acks).
+func (r *Recorder) observeAckPayload(f *frame.Frame) {
+	for i := range f.AckRecs {
+		r.stats.AcksSeen++
+		r.observeAckRecord(f.AckRecs[i].ID, f.AckRecs[i].Rcv)
+	}
 }
 
 func (r *Recorder) observeMessage(f *frame.Frame) {
@@ -445,15 +509,7 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 		// Transport-level publish-before-use (§6.1): receivers hold the
 		// frame until this acknowledgement. Emission waits out the publish
 		// processing time, so ModeNaive recorders visibly slow the system.
-		id := f.ID
-		epoch := r.epoch
-		r.sched.After(r.cfg.Mode.PerMessageCPU(), func() {
-			if r.epoch != epoch || r.crashed {
-				return
-			}
-			r.stats.RecorderAcksSent++
-			r.ep.SendRaw(&frame.Frame{Type: frame.RecorderAck, Dst: frame.Broadcast, ID: id})
-		})
+		r.queueRecorderAck(f.ID)
 	}
 
 	if f.To == r.cfg.Proc {
@@ -518,6 +574,71 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 	r.stats.MessagesPending++
 }
 
+// recAck is one queued recorder acknowledgement: the id becomes
+// broadcastable once its publish processing time has elapsed.
+type recAck struct {
+	id      frame.MsgID
+	readyAt simtime.Time
+}
+
+// maxAckIDsPerFrame bounds a batched RecorderAck frame's id list to the MTU.
+const maxAckIDsPerFrame = frame.MaxBody / frame.AckIDLen
+
+// queueRecorderAck schedules the §6.1 acknowledgement for one stored
+// message. Ready entries are flushed together: every record of a coalesced
+// bundle finishes processing at the same instant, so one RecorderAck frame
+// covers the whole batch instead of one frame per message.
+func (r *Recorder) queueRecorderAck(id frame.MsgID) {
+	r.ackq = append(r.ackq, recAck{id: id, readyAt: r.sched.Now() + r.cfg.Mode.PerMessageCPU()})
+	if !r.ackTimerSet {
+		r.armAckTimer(r.cfg.Mode.PerMessageCPU())
+	}
+}
+
+func (r *Recorder) armAckTimer(d simtime.Time) {
+	r.ackTimerSet = true
+	epoch := r.epoch
+	r.sched.After(d, func() {
+		if r.epoch != epoch || r.crashed {
+			return
+		}
+		r.flushRecorderAcks()
+	})
+}
+
+// flushRecorderAcks broadcasts every ready queued acknowledgement. A batch
+// of one keeps the legacy single-id wire form (the frame's ID field, empty
+// Body); larger batches pack an id list into the Body.
+func (r *Recorder) flushRecorderAcks() {
+	r.ackTimerSet = false
+	now := r.sched.Now()
+	ready := 0
+	for ready < len(r.ackq) && r.ackq[ready].readyAt <= now {
+		ready++
+	}
+	for start := 0; start < ready; {
+		n := ready - start
+		if n > maxAckIDsPerFrame {
+			n = maxAckIDsPerFrame
+		}
+		f := &frame.Frame{Type: frame.RecorderAck, Dst: frame.Broadcast, ID: r.ackq[start].id}
+		if n > 1 {
+			body := make([]byte, 0, n*frame.AckIDLen)
+			for _, a := range r.ackq[start : start+n] {
+				body = frame.AppendAckID(body, a.id)
+			}
+			f.Body = body
+		}
+		r.stats.RecorderAcksSent++
+		r.ep.SendRaw(f)
+		start += n
+	}
+	r.ackq = append(r.ackq[:0], r.ackq[ready:]...)
+	if len(r.ackq) > 0 {
+		r.armAckTimer(r.ackq[0].readyAt - now)
+	}
+}
+
 // allocStored takes a storedMsg node from the pool (or the heap); the caller
 // overwrites every field, reusing Body and Link capacity.
 func (r *Recorder) allocStored() *storedMsg {
@@ -546,34 +667,41 @@ func (r *Recorder) releaseStored(sm *storedMsg) {
 	r.recycleStored(sm)
 }
 
-// observeAck assigns arrival order: "It is possible to discover the order
-// in which messages are received at the receiving node by tracing the
-// acknowledgements sent in response to messages" (§4.4.1).
+// observeAck assigns arrival order from a legacy single-message Ack frame:
+// "It is possible to discover the order in which messages are received at
+// the receiving node by tracing the acknowledgements sent in response to
+// messages" (§4.4.1). The ack's From is the receiving process.
 func (r *Recorder) observeAck(f *frame.Frame) {
 	r.stats.AcksSeen++
-	sm, ok := r.pending[f.ID]
+	r.observeAckRecord(f.ID, f.From)
+}
+
+// observeAckRecord processes one acknowledgement — id accepted by process
+// rcv — from either a standalone Ack frame or a piggybacked record.
+func (r *Recorder) observeAckRecord(id frame.MsgID, rcv frame.ProcID) {
+	sm, ok := r.pending[id]
 	if !ok {
 		return // duplicate ack, untracked message, or our own traffic
 	}
-	e := r.db[f.From] // the ack's From is the receiving process
+	e := r.db[rcv]
 	if e == nil {
 		// Accepted before the destination's creation notice arrived:
 		// buffer until registration. Bounded per process.
-		delete(r.pending, f.ID)
-		if f.From.Local != 0 && f.From != r.cfg.Proc && len(r.preArrivals[f.From]) < 1024 {
-			r.preArrivals[f.From] = append(r.preArrivals[f.From], *sm)
+		delete(r.pending, id)
+		if rcv.Local != 0 && rcv != r.cfg.Proc && len(r.preArrivals[rcv]) < 1024 {
+			r.preArrivals[rcv] = append(r.preArrivals[rcv], *sm)
 			r.releaseStored(sm)
 		} else {
 			r.recycleStored(sm)
 		}
 		return
 	}
-	if e.Dead || e.have[f.ID] {
-		delete(r.pending, f.ID)
+	if e.Dead || e.have[id] {
+		delete(r.pending, id)
 		r.recycleStored(sm)
 		return
 	}
-	delete(r.pending, f.ID)
+	delete(r.pending, id)
 	// Cumulative-ack inference: the transport delivers each sender's stream
 	// in sequence order, so this ack also proves every lower-sequence
 	// message from the same sender to this process arrived — their own acks

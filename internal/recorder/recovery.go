@@ -340,6 +340,8 @@ func (r *Recorder) Crash() {
 	r.pending = make(map[frame.MsgID]*storedMsg)
 	r.preArrivals = make(map[frame.ProcID][]storedMsg)
 	r.preLastSent = make(map[frame.ProcID]uint64)
+	r.ackq = r.ackq[:0]
+	r.ackTimerSet = false
 	r.noticeSeen.Reset()
 	r.catchingUp = false
 	r.awaitCk = nil

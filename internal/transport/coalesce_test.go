@@ -1,0 +1,171 @@
+package transport
+
+import (
+	"testing"
+
+	"publishing/internal/frame"
+	"publishing/internal/lan"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// With AckDelay set and no reverse traffic at all, the delayed-ack timer
+// must fall back to one standalone cumulative Ack frame covering every
+// pending record — the sender's flights may not hang on the missing
+// piggyback opportunity.
+func TestDelayedAckFlushNoReverseTraffic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AckDelay = 5 * simtime.Millisecond
+	cfg.Window = 4
+	e := newEnv(t, 2, cfg, "perfect")
+	for seq := uint64(1); seq <= 3; seq++ {
+		e.eps[0].SendGuaranteed(gmsg(0, 1, seq, "fwd"))
+	}
+	// All three arrive within ~5 ms (1.6 ms interframe gap each) and queue
+	// their ack records behind the receiver's delay timer.
+	e.sched.Run(5 * simtime.Millisecond)
+	if len(e.got[1]) != 3 {
+		t.Fatalf("delivered %d frames before flush, want 3", len(e.got[1]))
+	}
+	if e.eps[0].InFlight() == 0 {
+		t.Fatal("sender already acked before the delayed-ack flush")
+	}
+	e.sched.RunAll(1_000_000)
+	if e.eps[0].InFlight() != 0 {
+		t.Fatal("sender still waiting after flush")
+	}
+	rs := e.eps[1].Stats()
+	if rs.AcksDelayedFlush != 1 {
+		t.Fatalf("AcksDelayedFlush = %d, want 1 standalone frame for the batch", rs.AcksDelayedFlush)
+	}
+	if rs.AcksPiggybacked != 0 {
+		t.Fatalf("AcksPiggybacked = %d with no reverse traffic", rs.AcksPiggybacked)
+	}
+}
+
+// A reverse-direction data frame consumes the pending ack records when it is
+// first transmitted; if that carrier is lost, its retransmission no longer
+// carries the records — but it does carry the cumulative mark, which must
+// complete the superseded flights on arrival.
+func TestCumulativeAckCoversSupersededRecords(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AckDelay = 50 * simtime.Millisecond
+	cfg.Window = 4
+	e := newEnv(t, 2, cfg, "perfect")
+	e.eps[0].SendGuaranteed(gmsg(0, 1, 1, "a"))
+	e.eps[0].SendGuaranteed(gmsg(0, 1, 2, "b"))
+	e.sched.Run(5 * simtime.Millisecond)
+	if len(e.got[1]) != 2 {
+		t.Fatalf("forward frames delivered = %d, want 2", len(e.got[1]))
+	}
+
+	// Node 0 goes deaf; the reverse frame (carrying both piggybacked ack
+	// records) and the delayed-ack fallback flush are both lost.
+	e.med.Faults().SetDown(0, true)
+	e.eps[1].SendGuaranteed(gmsg(1, 0, 1, "rev"))
+	e.sched.Run(100 * simtime.Millisecond)
+	if e.eps[0].InFlight() != 2 {
+		t.Fatalf("sender flights = %d while down, want 2 still outstanding", e.eps[0].InFlight())
+	}
+	if e.eps[1].Stats().AcksPiggybacked != 2 {
+		t.Fatalf("AcksPiggybacked = %d, want 2 (records consumed by the lost carrier)", e.eps[1].Stats().AcksPiggybacked)
+	}
+
+	// Back up: the reverse frame's retransmission has no records left to
+	// carry, only the cumulative mark — which must complete both flights.
+	e.med.Faults().SetDown(0, false)
+	e.sched.RunAll(1_000_000)
+	if e.eps[0].InFlight() != 0 {
+		t.Fatal("cumulative mark on the retransmitted carrier did not complete the superseded flights")
+	}
+	if len(e.got[0]) != 1 {
+		t.Fatalf("reverse delivery = %d, want 1", len(e.got[0]))
+	}
+}
+
+// Thesis window discipline with coalescing: a full Bundle in flight holds
+// the single transmission-unit slot, so a frame for a different destination
+// stays queued until the whole batch acknowledges.
+func TestWindowFullBehindCoalescedBatch(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Window = 1
+	cfg.FlushDelay = simtime.Millisecond
+	e := newEnv(t, 3, cfg, "perfect")
+	e.med.Faults().SetDown(1, true)
+	for seq := uint64(1); seq <= 3; seq++ {
+		e.eps[0].SendGuaranteed(gmsg(0, 1, seq, "x"))
+	}
+	e.eps[0].SendGuaranteed(gmsg(0, 2, 1, "other"))
+	e.sched.Run(200 * simtime.Millisecond)
+	if got := e.eps[0].Stats().FramesCoalesced; got != 3 {
+		t.Fatalf("FramesCoalesced = %d, want 3", got)
+	}
+	if len(e.got[2]) != 0 {
+		t.Fatal("frame for node 2 jumped the window while the batch was unacked")
+	}
+	if e.eps[0].InFlight() != 4 {
+		t.Fatalf("InFlight = %d, want 3 batch members + 1 queued", e.eps[0].InFlight())
+	}
+	e.med.Faults().SetDown(1, false)
+	e.sched.RunAll(1_000_000)
+	if len(e.got[1]) != 3 {
+		t.Fatalf("batch deliveries = %d, want 3", len(e.got[1]))
+	}
+	for i, f := range e.got[1] {
+		if f.ID.Seq != uint64(i+1) {
+			t.Fatalf("batch order broken at %d: %v", i, f.ID)
+		}
+	}
+	if len(e.got[2]) != 1 {
+		t.Fatalf("node-2 delivery = %d after the slot freed, want 1", len(e.got[2]))
+	}
+}
+
+// Measured RTO stops the fixed-interval pathology where every ack that takes
+// longer than RetransmitInterval triggers a pointless retransmission. The
+// workload alternates small and large messages on a slow link: large frames
+// take longer than the fixed 50 ms interval to acknowledge, so fixed mode
+// retransmits every one of them spuriously, while adaptive mode learns the
+// round trip (and persists its post-timeout backoff per RFC 6298 §5.5 —
+// Karn's rule means retransmitted flights never yield samples, so only the
+// persisted backoff stops the spurious timeout from repeating).
+func TestAdaptiveRTOReducesSpuriousRetransmits(t *testing.T) {
+	large := string(make([]byte, 600)) // ~48 ms at 100 kb/s: ack RTT > 50 ms
+	run := func(adaptive bool) (retransmits uint64, delivered int) {
+		cfg := DefaultConfig() // 50 ms fixed interval
+		cfg.AdaptiveRTO = adaptive
+		lcfg := lan.DefaultConfig()
+		lcfg.BitsPerSecond = 100_000
+		lcfg.InterframeGap = 5 * simtime.Millisecond
+		sched := simtime.NewScheduler()
+		log := trace.New(sched.Now)
+		med := lan.NewPerfect(lcfg, sched, simtime.NewRand(7), log)
+		tx := New(0, med, sched, log, cfg)
+		rx := New(1, med, sched, log, cfg)
+		var got int
+		rx.Deliver = func(f *frame.Frame) bool { got++; return true }
+		for seq := uint64(1); seq <= 20; seq++ {
+			body := "small"
+			if seq%2 == 0 {
+				body = large
+			}
+			tx.SendGuaranteed(gmsg(0, 1, seq, body))
+		}
+		sched.RunAll(10_000_000)
+		if g := tx.Stats().GaveUp; g != 0 {
+			t.Fatalf("adaptive=%v gave up on %d frames", adaptive, g)
+		}
+		return tx.Stats().Retransmits, got
+	}
+	fixedRetr, fixedGot := run(false)
+	adaptRetr, adaptGot := run(true)
+	if fixedGot != 20 || adaptGot != 20 {
+		t.Fatalf("deliveries: fixed=%d adaptive=%d, want 20 each", fixedGot, adaptGot)
+	}
+	if fixedRetr < 10 {
+		t.Fatalf("fixed interval below the large-frame RTT should retransmit all 10, got %d", fixedRetr)
+	}
+	if adaptRetr*4 > fixedRetr {
+		t.Fatalf("adaptive RTO retransmits = %d, fixed = %d; want at least a 4x reduction", adaptRetr, fixedRetr)
+	}
+}

@@ -63,8 +63,39 @@ type Config struct {
 	// RecorderAckTimeout discards a held frame if no recorder ack arrives,
 	// letting the sender's retransmission drive another attempt.
 	RecorderAckTimeout simtime.Time
-	// Metrics, when non-nil, receives the endpoint's counters and the ack
-	// round-trip histogram under subsystem "transport".
+	// FlushDelay, when > 0, holds admitted guaranteed (and unicast
+	// unguaranteed) sends briefly so several small messages to the same
+	// destination coalesce into one Bundle frame, amortizing the fixed
+	// per-frame cost (on the paper's network the 1.6 ms interpacket delay
+	// dwarfs a small payload). 0 gives every message its own frame
+	// immediately — the thesis behavior.
+	FlushDelay simtime.Time
+	// AckDelay, when > 0, delays end-to-end acknowledgements so they ride
+	// piggybacked on reverse-direction gated frames, falling back to one
+	// standalone cumulative Ack frame per destination when no reverse
+	// traffic appears within the delay. 0 acks every message with its own
+	// frame immediately (the thesis behavior).
+	AckDelay simtime.Time
+	// AdaptiveRTO derives the retransmission timeout per destination from
+	// measured ack round trips (SRTT/RTTVAR, RFC 6298 style) instead of the
+	// fixed RetransmitInterval, and backs off exponentially on retry.
+	// RetransmitInterval remains the pre-measurement initial timeout.
+	AdaptiveRTO bool
+	// MinRTO and MaxRTO clamp the adaptive timeout and its backoff.
+	// Defaults (when AdaptiveRTO is set and these are zero): 2 ms and 1 s.
+	MinRTO simtime.Time
+	MaxRTO simtime.Time
+	// RetryBudget bounds, in elapsed time, how long an adaptive-RTO flight
+	// is retransmitted before the sender gives up. With backoff the interval
+	// between attempts varies by orders of magnitude, so an attempt count
+	// alone no longer pins down when give-up happens; crash detection and
+	// everything layered on it assume the legacy wall-clock bound. Zero
+	// derives MaxRetries × RetransmitInterval — the exact legacy budget.
+	// Ignored when AdaptiveRTO is off or MaxRetries is 0 (retry forever).
+	RetryBudget simtime.Time
+	// Metrics, when non-nil, receives the endpoint's counters, the ack
+	// round-trip histogram, and the current rto_ns gauge under subsystem
+	// "transport".
 	Metrics *metrics.Registry
 }
 
@@ -91,12 +122,22 @@ type Stats struct {
 	RecorderHeld     uint64
 	RecorderExpired  uint64
 	GaveUp           uint64
+	// FramesCoalesced counts messages that shared a Bundle frame with at
+	// least one other record (each record counts once).
+	FramesCoalesced uint64
+	// AcksPiggybacked counts acknowledgement records carried on
+	// reverse-direction data frames instead of dedicated Ack frames.
+	AcksPiggybacked uint64
+	// AcksDelayedFlush counts standalone cumulative Ack frames sent because
+	// the delayed-ack timer expired with no reverse traffic to ride.
+	AcksDelayedFlush uint64
 }
 
 func (s *Stats) String() string {
-	return fmt.Sprintf("gsent=%d usent=%d rexmit=%d acks=%d/%d delivered=%d dups=%d held=%d expired=%d gaveup=%d",
+	return fmt.Sprintf("gsent=%d usent=%d rexmit=%d acks=%d/%d delivered=%d dups=%d held=%d expired=%d gaveup=%d coalesced=%d piggyback=%d ackflush=%d",
 		s.GuaranteedSent, s.UnguaranteedSent, s.Retransmits, s.AcksSent, s.AcksReceived,
-		s.Delivered, s.DupsSuppressed, s.RecorderHeld, s.RecorderExpired, s.GaveUp)
+		s.Delivered, s.DupsSuppressed, s.RecorderHeld, s.RecorderExpired, s.GaveUp,
+		s.FramesCoalesced, s.AcksPiggybacked, s.AcksDelayedFlush)
 }
 
 // Endpoint is one processor's transport. It implements lan.Station.
@@ -115,6 +156,16 @@ type Endpoint struct {
 	// message again later. Refused frames do not advance the stream.
 	Deliver func(f *frame.Frame) bool
 
+	// HoldUndelivered, if set, is consulted when a sender has abandoned
+	// (retry exhaustion) a refused in-order frame this endpoint still holds
+	// buffered. True means the refusal is transient — the destination
+	// process is recovering — so the stream stays parked on the frame until
+	// Poke delivers it; delivering later frames first would corrupt the
+	// arrival order the recorder infers from acks (§4.4.1). False (or an
+	// unset hook) discards the frame and skips, bounding the cost of a
+	// truly dead destination just as the sender's give-up did.
+	HoldUndelivered func(f *frame.Frame) bool
+
 	// OnAck, if set, is called for every end-to-end ack this endpoint
 	// receives for its own guaranteed frames (used by measurement hooks).
 	OnAck func(id frame.MsgID)
@@ -130,8 +181,15 @@ type Endpoint struct {
 	sendq []*frame.Frame
 	// inflight maps outstanding unacked frames to their retry state.
 	inflight map[frame.MsgID]*flight
-	// perDest counts outstanding frames per destination (window > 1).
+	// perDest counts outstanding transmission units per destination
+	// (window > 1). Without coalescing every message is its own unit, so
+	// this is the thesis per-message count.
 	perDest map[frame.NodeID]int
+	// openUnits is the global unit count (thesis Window == 1 discipline).
+	openUnits int
+	// form holds the per-destination coalescing buffer being filled
+	// (FlushDelay > 0 only).
+	form map[frame.NodeID]*txUnit
 
 	// xseq numbers outgoing guaranteed frames per destination.
 	xseq map[frame.NodeID]uint64
@@ -144,10 +202,59 @@ type Endpoint struct {
 	// rx holds per-sender in-order reassembly state (windowing extension).
 	rx map[frame.NodeID]*rxStream
 
+	// ackPend accumulates delayed acknowledgements per peer (AckDelay > 0).
+	ackPend map[frame.NodeID]*ackPending
+	// rto holds the per-destination adaptive retransmission state.
+	rto map[frame.NodeID]*rtoState
+
+	// recScratch and idScratch are decode buffers reused across receives.
+	recScratch []frame.BundleRec
+	idScratch  []frame.MsgID
+
 	stats Stats
 	// ackRTT observes send-to-ack round trips in virtual nanoseconds.
 	ackRTT *metrics.Histogram
+	// rtoGauge mirrors the most recently updated destination's timeout.
+	rtoGauge *metrics.Gauge
 }
+
+// txUnit is one transmission unit under the window discipline: the set of
+// messages that will share (or shared) one wire frame. Its window slot frees
+// when every guaranteed member has been acknowledged or withdrawn.
+type txUnit struct {
+	dst     frame.NodeID
+	recs    []*flight      // guaranteed members, admission order
+	riders  []*frame.Frame // unguaranteed records riding along
+	bytes   int            // encoded bundle-body bytes committed so far
+	open    int            // guaranteed members not yet finished/withdrawn
+	flushed bool
+	closed  bool
+	timer   simtime.Event
+}
+
+// ackPending is one peer's delayed-acknowledgement state.
+type ackPending struct {
+	recs     []frame.AckRec
+	timerSet bool
+	timer    simtime.Event
+}
+
+// rtoState is the RFC 6298 estimator for one destination.
+type rtoState struct {
+	srtt, rttvar, rto simtime.Time
+	valid             bool
+}
+
+// maxPiggybackRecs bounds acknowledgement records attached to one data
+// frame; bundles reserve this much body budget so the block always fits.
+const maxPiggybackRecs = 8
+
+// ackReserve is the body budget a bundle leaves for the piggyback block.
+const ackReserve = maxPiggybackRecs*frame.AckRecLen + 16
+
+// rtoGranularity is the RFC 6298 clock granularity G in the rto formula
+// srtt + max(G, 4*rttvar).
+const rtoGranularity = simtime.Millisecond
 
 // rxStream reassembles one sender's guaranteed-frame stream in order.
 type rxStream struct {
@@ -170,6 +277,9 @@ type flight struct {
 	// end-to-end ack round trip.
 	sentAt simtime.Time
 	timer  simtime.Event
+	// unit is the transmission unit this flight belongs to (coalescing
+	// mode only; nil when FlushDelay == 0).
+	unit *txUnit
 }
 
 type heldFrame struct {
@@ -185,6 +295,17 @@ func New(node frame.NodeID, med lan.Medium, sched *simtime.Scheduler, log *trace
 	if cfg.DupCacheSize <= 0 {
 		cfg.DupCacheSize = 4096
 	}
+	if cfg.AdaptiveRTO {
+		if cfg.MinRTO <= 0 {
+			cfg.MinRTO = 2 * simtime.Millisecond
+		}
+		if cfg.MaxRTO <= 0 {
+			cfg.MaxRTO = simtime.Second
+		}
+		if cfg.RetryBudget <= 0 && cfg.MaxRetries > 0 {
+			cfg.RetryBudget = simtime.Time(cfg.MaxRetries) * cfg.RetransmitInterval
+		}
+	}
 	e := &Endpoint{
 		node:     node,
 		med:      med,
@@ -193,13 +314,18 @@ func New(node frame.NodeID, med lan.Medium, sched *simtime.Scheduler, log *trace
 		cfg:      cfg,
 		inflight: make(map[frame.MsgID]*flight),
 		perDest:  make(map[frame.NodeID]int),
+		form:     make(map[frame.NodeID]*txUnit),
 		xseq:     make(map[frame.NodeID]uint64),
 		dup:      newDupCache(cfg.DupCacheSize),
 		held:     make(map[frame.MsgID]*heldFrame),
 		rx:       make(map[frame.NodeID]*rxStream),
+		ackPend:  make(map[frame.NodeID]*ackPending),
+		rto:      make(map[frame.NodeID]*rtoState),
 	}
 	if cfg.Metrics != nil {
 		e.ackRTT = cfg.Metrics.Histogram(int(node), "transport", "ack_rtt_ns")
+		e.rtoGauge = cfg.Metrics.Gauge(int(node), "transport", "rto_ns")
+		e.rtoGauge.Set(int64(cfg.RetransmitInterval))
 		s := &e.stats
 		cfg.Metrics.AddCollector(int(node), "transport", func(emit func(string, int64)) {
 			emit("guaranteed_sent", int64(s.GuaranteedSent))
@@ -212,6 +338,9 @@ func New(node frame.NodeID, med lan.Medium, sched *simtime.Scheduler, log *trace
 			emit("recorder_held", int64(s.RecorderHeld))
 			emit("recorder_expired", int64(s.RecorderExpired))
 			emit("gave_up", int64(s.GaveUp))
+			emit("frames_coalesced", int64(s.FramesCoalesced))
+			emit("acks_piggybacked", int64(s.AcksPiggybacked))
+			emit("acks_delayed_flush", int64(s.AcksDelayedFlush))
 		})
 	}
 	med.Attach(node, e)
@@ -238,13 +367,25 @@ func (e *Endpoint) Reset() {
 	for _, h := range e.held {
 		e.sched.Cancel(h.timer)
 	}
+	for _, u := range e.form {
+		e.sched.Cancel(u.timer)
+	}
+	for _, p := range e.ackPend {
+		if p.timerSet {
+			e.sched.Cancel(p.timer)
+		}
+	}
 	e.sendq = nil
 	e.inflight = make(map[frame.MsgID]*flight)
 	e.perDest = make(map[frame.NodeID]int)
+	e.openUnits = 0
+	e.form = make(map[frame.NodeID]*txUnit)
 	e.xseq = make(map[frame.NodeID]uint64)
 	e.dup = newDupCache(e.cfg.DupCacheSize)
 	e.held = make(map[frame.MsgID]*heldFrame)
 	e.rx = make(map[frame.NodeID]*rxStream)
+	e.ackPend = make(map[frame.NodeID]*ackPending)
+	e.rto = make(map[frame.NodeID]*rtoState)
 }
 
 // SendGuaranteed queues a guaranteed frame for reliable delivery. The frame
@@ -266,11 +407,23 @@ func (e *Endpoint) SendGuaranteed(f *frame.Frame) {
 
 // SendUnguaranteed transmits a frame with no delivery guarantee: dated or
 // statistical information whose retransmission would be pointless (§4.3.3).
+// With coalescing enabled, a unicast frame that fits an already-forming unit
+// for its destination rides along in that unit's Bundle — it consumes no
+// window slot and is never retransmitted; otherwise it goes out immediately.
 func (e *Endpoint) SendUnguaranteed(f *frame.Frame) {
 	f = f.Clone()
 	f.Type = frame.Unguaranteed
 	f.Src = e.node
 	e.stats.UnguaranteedSent++
+	if e.cfg.FlushDelay > 0 && f.Dst != frame.Broadcast {
+		if u := e.form[f.Dst]; u != nil && !u.flushed && !u.closed {
+			if n := bundleRecLen(f); u.bytes+n <= bundleBudget {
+				u.riders = append(u.riders, f)
+				u.bytes += n
+				return
+			}
+		}
+	}
 	e.med.Send(e.node, f)
 }
 
@@ -297,12 +450,28 @@ func (e *Endpoint) InFlightIDs() []frame.MsgID {
 }
 
 // pump admits queued frames to the wire subject to the window discipline.
+// With coalescing enabled (FlushDelay > 0) the window counts transmission
+// units rather than messages: the head of the queue may always join the
+// forming unit for its destination (that unit already holds a window slot),
+// while opening a new unit requires a free slot.
 func (e *Endpoint) pump() {
 	for len(e.sendq) > 0 {
 		f := e.sendq[0]
+		if e.cfg.FlushDelay > 0 {
+			if u := e.form[f.Dst]; u != nil && !u.flushed && !u.closed {
+				if n := bundleRecLen(f); u.bytes+n <= bundleBudget {
+					e.sendq = e.sendq[1:]
+					e.joinUnit(u, f, n)
+					continue
+				}
+				// The forming unit is full: put it on the wire now rather
+				// than waiting out the timer it can no longer benefit from.
+				e.flushUnit(u)
+			}
+		}
 		if e.cfg.Window == 1 {
 			// Thesis mode: one unacknowledged message per processor, total.
-			if len(e.inflight) >= 1 {
+			if e.openUnitCount() >= 1 {
 				return
 			}
 		} else {
@@ -314,35 +483,205 @@ func (e *Endpoint) pump() {
 			}
 		}
 		e.sendq = e.sendq[1:]
-		seq := e.xseq[f.Dst]
-		e.xseq[f.Dst] = seq + 1
-		f.XSeq = uint64(e.epoch&0xffff)<<48 | (seq & xseqSeqMask)
-		fl := &flight{f: f}
-		e.inflight[f.ID] = fl
+		if e.cfg.FlushDelay > 0 {
+			u := e.openUnit(f)
+			if bundleRecLen(f) > bundleBudget {
+				// A frame that fills the budget alone can never coalesce;
+				// waiting out the flush timer would be pure latency (replay
+				// batches and checkpoint chunks ship full MTUs).
+				e.flushUnit(u)
+			}
+			continue
+		}
+		fl := e.admit(f, nil)
 		e.perDest[f.Dst]++
 		e.transmit(fl)
 	}
 }
 
-func (e *Endpoint) transmit(fl *flight) {
-	fl.attempts++
-	if fl.attempts == 1 {
-		fl.sentAt = e.sched.Now()
+// openUnitCount is the thesis-mode global outstanding count: transmission
+// units when coalescing, individual unacked messages otherwise.
+func (e *Endpoint) openUnitCount() int {
+	if e.cfg.FlushDelay > 0 {
+		return e.openUnits
 	}
-	// Stamp the stream low-water mark: the lowest sequence still
-	// unacknowledged toward this destination. Receivers sync on it.
-	low := xseqSeq(fl.f.XSeq)
+	return len(e.inflight)
+}
+
+// admit assigns the next stream sequence and registers the flight.
+func (e *Endpoint) admit(f *frame.Frame, u *txUnit) *flight {
+	seq := e.xseq[f.Dst]
+	e.xseq[f.Dst] = seq + 1
+	f.XSeq = uint64(e.epoch&0xffff)<<48 | (seq & xseqSeqMask)
+	fl := &flight{f: f, unit: u}
+	e.inflight[f.ID] = fl
+	return fl
+}
+
+// bundleBudget is the bundle body space available to records, leaving room
+// for a piggybacked acknowledgement block.
+const bundleBudget = frame.MaxBody - ackReserve
+
+// bundleRecLen returns the bundle-record cost of a single-message frame.
+func bundleRecLen(f *frame.Frame) int {
+	n := frame.BundleRecFixed + len(f.Body)
+	if f.PassedLink != nil {
+		n += frame.BundleRecLink
+	}
+	return n
+}
+
+// openUnit starts a new transmission unit with f as its first member and
+// arms the flush timer.
+func (e *Endpoint) openUnit(f *frame.Frame) *txUnit {
+	u := &txUnit{dst: f.Dst, bytes: frame.BundleHdrLen}
+	e.form[f.Dst] = u
+	e.perDest[f.Dst]++
+	e.openUnits++
+	e.joinUnit(u, f, bundleRecLen(f))
+	epoch := e.epoch
+	u.timer = e.sched.After(e.cfg.FlushDelay, func() {
+		if e.epoch != epoch {
+			return
+		}
+		e.flushUnit(u)
+	})
+	return u
+}
+
+// joinUnit adds a guaranteed frame to a forming unit.
+func (e *Endpoint) joinUnit(u *txUnit, f *frame.Frame, n int) {
+	fl := e.admit(f, u)
+	u.recs = append(u.recs, fl)
+	u.open++
+	u.bytes += n
+}
+
+// unitMemberDone records that one guaranteed member of a unit finished
+// (acked, given up, or withdrawn); the last one frees the window slot.
+func (e *Endpoint) unitMemberDone(u *txUnit) {
+	u.open--
+	if u.open > 0 || u.closed {
+		return
+	}
+	if !u.flushed && len(u.riders) > 0 {
+		// Riders still wait on the flush timer; the slot frees anyway — an
+		// unguaranteed-only flush consumes no window.
+		u.closed = true
+	} else {
+		e.closeUnit(u)
+	}
+	if e.perDest[u.dst] > 0 {
+		e.perDest[u.dst]--
+	}
+	if e.openUnits > 0 {
+		e.openUnits--
+	}
+}
+
+// closeUnit detaches a unit from the forming slot and cancels its timer.
+func (e *Endpoint) closeUnit(u *txUnit) {
+	u.closed = true
+	if e.form[u.dst] == u {
+		delete(e.form, u.dst)
+	}
+	if !u.flushed {
+		u.flushed = true
+		e.sched.Cancel(u.timer)
+	}
+}
+
+// flushUnit puts a forming unit on the wire: one plain frame when it holds a
+// single record, a Bundle frame otherwise. Members withdrawn since admission
+// (Abort) are skipped.
+func (e *Endpoint) flushUnit(u *txUnit) {
+	if u.flushed {
+		return
+	}
+	u.flushed = true
+	e.sched.Cancel(u.timer)
+	if e.form[u.dst] == u {
+		delete(e.form, u.dst)
+	}
+	live := u.recs[:0]
+	for _, fl := range u.recs {
+		if e.inflight[fl.f.ID] == fl {
+			live = append(live, fl)
+		}
+	}
+	u.recs = live
+	switch {
+	case len(live) == 0 && len(u.riders) == 0:
+		return
+	case len(live) == 1 && len(u.riders) == 0:
+		e.transmit(live[0])
+		return
+	case len(live) == 0 && len(u.riders) == 1:
+		e.med.Send(e.node, u.riders[0])
+		return
+	}
+	bundle := &frame.Frame{
+		Type: frame.Bundle,
+		Src:  e.node,
+		Dst:  u.dst,
+		XLow: e.xlowFor(u.dst, ^uint64(0)),
+	}
+	body := frame.BeginBundle(make([]byte, 0, u.bytes))
+	count := 0
+	var rec frame.BundleRec
+	for _, fl := range live {
+		rec.RecOf(fl.f)
+		body = frame.AppendBundleRec(body, &rec)
+		count++
+	}
+	for _, g := range u.riders {
+		rec.RecOf(g)
+		body = frame.AppendBundleRec(body, &rec)
+		count++
+	}
+	bundle.Body = frame.FinishBundle(body, 0, count)
+	e.stats.FramesCoalesced += uint64(count)
+	e.attachAcks(bundle)
+	e.med.Send(e.node, bundle)
+	e.detachAcks(bundle)
+	for _, fl := range live {
+		e.armFlight(fl)
+	}
+}
+
+// xlowFor computes the stream low-water mark toward dst: the lowest
+// unacknowledged sequence, seeded with seed (the sending frame's own seq, or
+// all-ones when scanning on behalf of a bundle).
+func (e *Endpoint) xlowFor(dst frame.NodeID, seed uint64) uint64 {
+	low := seed
 	for _, g := range e.inflight {
-		if g.f.Dst == fl.f.Dst {
+		if g.f.Dst == dst {
 			if s := xseqSeq(g.f.XSeq); s < low {
 				low = s
 			}
 		}
 	}
-	fl.f.XLow = uint64(e.epoch&0xffff)<<48 | low
+	return uint64(e.epoch&0xffff)<<48 | (low & xseqSeqMask)
+}
+
+func (e *Endpoint) transmit(fl *flight) {
+	// Stamp the stream low-water mark: the lowest sequence still
+	// unacknowledged toward this destination. Receivers sync on it.
+	fl.f.XLow = e.xlowFor(fl.f.Dst, xseqSeq(fl.f.XSeq))
+	e.attachAcks(fl.f)
 	e.med.Send(e.node, fl.f)
+	e.detachAcks(fl.f)
+	e.armFlight(fl)
+}
+
+// armFlight counts one transmission attempt and arms the retransmit timer.
+func (e *Endpoint) armFlight(fl *flight) {
+	fl.attempts++
+	if fl.attempts == 1 {
+		fl.sentAt = e.sched.Now()
+	}
 	epoch := e.epoch
-	fl.timer = e.sched.After(e.cfg.RetransmitInterval, func() {
+	fl.timer = e.sched.After(e.rtoDelay(fl), func() {
 		if e.epoch != epoch {
 			return
 		}
@@ -350,11 +689,80 @@ func (e *Endpoint) transmit(fl *flight) {
 	})
 }
 
+// rtoDelay returns the retransmission timeout for the flight's next attempt:
+// the fixed interval, or the destination's current RTO — measured from ack
+// round trips, and doubled persistently by backoffRTO on every timeout.
+func (e *Endpoint) rtoDelay(fl *flight) simtime.Time {
+	if !e.cfg.AdaptiveRTO {
+		return e.cfg.RetransmitInterval
+	}
+	d := e.cfg.RetransmitInterval
+	if st := e.rto[fl.f.Dst]; st != nil && st.rto > 0 {
+		d = st.rto
+	}
+	if d > e.cfg.MaxRTO {
+		d = e.cfg.MaxRTO
+	}
+	if d < e.cfg.MinRTO {
+		d = e.cfg.MinRTO
+	}
+	return d
+}
+
+// observeRTT feeds one ack round trip into the histogram and the RFC 6298
+// estimator. Karn's algorithm: only first-attempt acks are unambiguous
+// samples, so retransmitted flights contribute nothing.
+func (e *Endpoint) observeRTT(fl *flight) {
+	if fl.attempts != 1 {
+		return
+	}
+	r := e.sched.Now() - fl.sentAt
+	e.ackRTT.Observe(int64(r))
+	if !e.cfg.AdaptiveRTO {
+		return
+	}
+	st := e.rto[fl.f.Dst]
+	if st == nil {
+		st = &rtoState{}
+		e.rto[fl.f.Dst] = st
+	}
+	if !st.valid {
+		st.srtt = r
+		st.rttvar = r / 2
+		st.valid = true
+	} else {
+		d := st.srtt - r
+		if d < 0 {
+			d = -d
+		}
+		st.rttvar = (3*st.rttvar + d) / 4
+		st.srtt = (7*st.srtt + r) / 8
+	}
+	vv := 4 * st.rttvar
+	if vv < rtoGranularity {
+		vv = rtoGranularity
+	}
+	st.rto = st.srtt + vv
+	if st.rto < e.cfg.MinRTO {
+		st.rto = e.cfg.MinRTO
+	}
+	if st.rto > e.cfg.MaxRTO {
+		st.rto = e.cfg.MaxRTO
+	}
+	e.rtoGauge.Set(int64(st.rto))
+}
+
 func (e *Endpoint) retransmit(fl *flight) {
 	if _, ok := e.inflight[fl.f.ID]; !ok {
 		return // acked in the meantime
 	}
-	if e.cfg.MaxRetries > 0 && fl.attempts >= e.cfg.MaxRetries {
+	exhausted := e.cfg.MaxRetries > 0 && fl.attempts >= e.cfg.MaxRetries
+	if !exhausted && e.cfg.AdaptiveRTO && e.cfg.RetryBudget > 0 {
+		// Backoff stretches the attempt intervals, so the count alone would
+		// let a flight outlive the legacy give-up point many times over.
+		exhausted = e.sched.Now()-fl.sentAt >= e.cfg.RetryBudget
+	}
+	if exhausted {
 		// Give up; the crash-detection machinery owns this situation now.
 		e.stats.GaveUp++
 		id := fl.f.ID.String()
@@ -367,9 +775,37 @@ func (e *Endpoint) retransmit(fl *flight) {
 		return
 	}
 	e.stats.Retransmits++
+	if e.cfg.AdaptiveRTO {
+		e.backoffRTO(fl.f.Dst)
+	}
 	id := fl.f.ID.String()
 	e.log.AddMsg(trace.KindSend, int(e.node), id, id, "retransmit #%d", fl.attempts)
 	e.transmit(fl)
+}
+
+// backoffRTO doubles the destination's timeout after a loss signal (RFC 6298
+// §5.5), clamped to [MinRTO, MaxRTO]. The backed-off value persists for every
+// later flight to the destination until a fresh round-trip sample replaces
+// it: retransmitted flights never produce samples (Karn's algorithm), so
+// without persistence a timeout below the true round trip would fire
+// spuriously again for every subsequent message.
+func (e *Endpoint) backoffRTO(dst frame.NodeID) {
+	st := e.rto[dst]
+	if st == nil {
+		st = &rtoState{}
+		e.rto[dst] = st
+	}
+	if st.rto <= 0 {
+		st.rto = e.cfg.RetransmitInterval
+	}
+	st.rto *= 2
+	if st.rto > e.cfg.MaxRTO {
+		st.rto = e.cfg.MaxRTO
+	}
+	if st.rto < e.cfg.MinRTO {
+		st.rto = e.cfg.MinRTO
+	}
+	e.rtoGauge.Set(int64(st.rto))
 }
 
 // finish removes a frame from the in-flight set and admits the next.
@@ -380,7 +816,9 @@ func (e *Endpoint) finish(f *frame.Frame) {
 	}
 	e.sched.Cancel(fl.timer)
 	delete(e.inflight, f.ID)
-	if e.perDest[f.Dst] > 0 {
+	if fl.unit != nil {
+		e.unitMemberDone(fl.unit)
+	} else if e.perDest[f.Dst] > 0 {
 		e.perDest[f.Dst]--
 	}
 	e.pump()
@@ -394,11 +832,43 @@ func (e *Endpoint) Receive(f *frame.Frame) {
 	case frame.RecorderAck:
 		e.handleRecorderAck(f)
 	case frame.Guaranteed:
+		e.processAckPayload(f)
 		e.handleGuaranteed(f)
+	case frame.Bundle:
+		e.processAckPayload(f)
+		e.handleBundle(f)
 	case frame.Unguaranteed:
 		if e.Deliver != nil {
 			e.stats.Delivered++
 			e.Deliver(f)
+		}
+	}
+}
+
+// handleBundle unpacks a coalesced frame and runs every record through the
+// regular single-frame paths. Record bodies alias the bundle body, which
+// belongs to this endpoint (media deliver private copies), so no copies are
+// made even for records that end up held or buffered.
+func (e *Endpoint) handleBundle(f *frame.Frame) {
+	if f.Dst != e.node {
+		return
+	}
+	recs, err := frame.DecodeBundle(f.Body, e.recScratch)
+	if err != nil {
+		e.log.Add(trace.KindDrop, int(e.node), "", "bundle decode failed: %v", err)
+		return
+	}
+	e.recScratch = recs
+	for i := range recs {
+		g := recs[i].Expand(f)
+		switch g.Type {
+		case frame.Guaranteed:
+			e.handleGuaranteed(g)
+		case frame.Unguaranteed:
+			if e.Deliver != nil {
+				e.stats.Delivered++
+				e.Deliver(g)
+			}
 		}
 	}
 }
@@ -420,21 +890,66 @@ func (e *Endpoint) handleAck(f *frame.Frame) {
 	if f.Dst != e.node {
 		return
 	}
-	if _, ok := e.inflight[f.ID]; !ok {
+	if f.AckCumSet || len(f.AckRecs) > 0 {
+		// Cumulative/range ack: everything acknowledged is in the payload;
+		// the header id merely repeats the last record for trace readers.
+		e.processAckPayload(f)
+		return
+	}
+	fl, ok := e.inflight[f.ID]
+	if !ok {
 		return // duplicate ack
 	}
+	e.ackOne(fl)
+}
+
+// ackOne completes one acknowledged flight.
+func (e *Endpoint) ackOne(fl *flight) {
 	e.stats.AcksReceived++
-	fl := e.inflight[f.ID]
-	e.ackRTT.Observe(int64(e.sched.Now() - fl.sentAt))
+	e.observeRTT(fl)
 	if e.log.Detailed() {
-		id := f.ID.String()
+		id := fl.f.ID.String()
 		e.log.AddMsg(trace.KindAck, int(e.node), id, id,
 			"end-to-end ack after %d attempt(s)", fl.attempts)
 	}
 	if e.OnAck != nil {
-		e.OnAck(f.ID)
+		e.OnAck(fl.f.ID)
 	}
 	e.finish(fl.f)
+}
+
+// processAckPayload applies a piggybacked (or standalone-cumulative)
+// acknowledgement block: every listed record completes individually, then
+// the cumulative mark completes everything at or below it on the stream to
+// the sending peer — including retransmitted frames whose individual ack
+// record was superseded or lost.
+func (e *Endpoint) processAckPayload(f *frame.Frame) {
+	if f.Dst != e.node || (!f.AckCumSet && len(f.AckRecs) == 0) {
+		return
+	}
+	for i := range f.AckRecs {
+		if fl, ok := e.inflight[f.AckRecs[i].ID]; ok {
+			e.ackOne(fl)
+		}
+	}
+	if !f.AckCumSet || xseqEpoch(f.AckCum) != uint16(e.epoch&0xffff) {
+		return
+	}
+	cum := xseqSeq(f.AckCum)
+	var done []*frame.Frame
+	for _, fl := range e.inflight {
+		if fl.f.Dst == f.Src && fl.attempts > 0 && xseqSeq(fl.f.XSeq) <= cum {
+			done = append(done, fl.f)
+		}
+	}
+	// Map iteration is unordered; completing in stream order keeps the run
+	// deterministic (finish order decides what pump admits next).
+	sortFrames(done)
+	for _, g := range done {
+		if fl, ok := e.inflight[g.ID]; ok {
+			e.ackOne(fl)
+		}
+	}
 }
 
 func (e *Endpoint) handleGuaranteed(f *frame.Frame) {
@@ -472,13 +987,33 @@ func (e *Endpoint) handleGuaranteed(f *frame.Frame) {
 	e.accept(f)
 }
 
+// handleRecorderAck releases held frames the recorder has stored. A frame
+// with a non-empty Body covers a whole batch (a packed id list, in storage
+// order); an empty Body is the legacy single-id form covering f.ID.
 func (e *Endpoint) handleRecorderAck(f *frame.Frame) {
-	h, ok := e.held[f.ID]
+	if len(f.Body) == 0 {
+		e.releaseHeld(f.ID)
+		return
+	}
+	ids, err := frame.DecodeAckIDs(f.Body, e.idScratch)
+	if err != nil {
+		e.log.Add(trace.KindDrop, int(e.node), "", "recorder-ack decode failed: %v", err)
+		return
+	}
+	e.idScratch = ids
+	for _, id := range ids {
+		e.releaseHeld(id)
+	}
+}
+
+// releaseHeld completes publish-before-use for one held frame.
+func (e *Endpoint) releaseHeld(id frame.MsgID) {
+	h, ok := e.held[id]
 	if !ok {
 		return
 	}
 	e.sched.Cancel(h.timer)
-	delete(e.held, f.ID)
+	delete(e.held, id)
 	e.accept(h.f)
 }
 
@@ -504,8 +1039,29 @@ func (e *Endpoint) accept(f *frame.Frame) {
 		st.expected = low
 	} else if low > st.expected {
 		// The sender abandoned everything below XLow (retry exhaustion);
-		// waiting for the gap would stall the stream forever.
-		st.expected = low
+		// waiting for the gap would stall the stream forever. But abandoned
+		// frames we already hold — buffered out of order, or refused by a
+		// recovering process — are still delivered, in order: the recorder
+		// infers arrival order from our acks, so handing sequence n up while
+		// silently discarding a held n-1 would corrupt the inferred stream.
+		// Only sequences that never arrived are skipped.
+		for st.expected < low {
+			g, held := st.buf[st.expected]
+			if !held {
+				st.expected++
+				continue
+			}
+			if !e.deliverUp(g) {
+				if e.HoldUndelivered != nil && e.HoldUndelivered(g) {
+					break // transient; Poke or a later frame resumes here
+				}
+				delete(st.buf, st.expected)
+				st.expected++
+				continue
+			}
+			delete(st.buf, st.expected)
+			st.expected++
+		}
 		e.drain(st)
 	}
 	e.advance(st, f)
@@ -587,7 +1143,9 @@ func (e *Endpoint) Abort(pred func(f *frame.Frame) bool) []*frame.Frame {
 		if pred(fl.f) {
 			e.sched.Cancel(fl.timer)
 			delete(e.inflight, id)
-			if e.perDest[fl.f.Dst] > 0 {
+			if fl.unit != nil {
+				e.unitMemberDone(fl.unit)
+			} else if e.perDest[fl.f.Dst] > 0 {
 				e.perDest[fl.f.Dst]--
 			}
 			out = append(out, fl.f)
@@ -617,20 +1175,143 @@ func sortFrames(fs []*frame.Frame) {
 	}
 }
 
-// ack broadcasts the end-to-end acknowledgement. The recorder overhears it
-// and learns the order in which messages were accepted at this node
-// (§4.4.1: "It is possible to discover the order in which messages are
-// received at the receiving node by tracing the acknowledgements").
+// ack acknowledges one accepted guaranteed frame end-to-end. The recorder
+// overhears acknowledgements and learns the order in which messages were
+// accepted at this node (§4.4.1: "It is possible to discover the order in
+// which messages are received at the receiving node by tracing the
+// acknowledgements") — delayed acknowledgement records keep that acceptance
+// order. With AckDelay == 0 every ack is its own frame (the thesis
+// behavior); otherwise the record is queued to ride piggybacked on the next
+// reverse-direction gated frame, falling back to a standalone cumulative Ack
+// frame when the delay expires first.
 func (e *Endpoint) ack(f *frame.Frame) {
 	e.stats.AcksSent++
-	e.med.Send(e.node, &frame.Frame{
-		Type: frame.Ack,
-		Src:  e.node,
-		Dst:  f.Src,
-		ID:   f.ID,
-		From: f.To, // ack is attributed to the receiving process
-		To:   f.From,
-	})
+	if e.cfg.AckDelay <= 0 {
+		e.med.Send(e.node, &frame.Frame{
+			Type: frame.Ack,
+			Src:  e.node,
+			Dst:  f.Src,
+			ID:   f.ID,
+			From: f.To, // ack is attributed to the receiving process
+			To:   f.From,
+		})
+		return
+	}
+	p := e.ackPend[f.Src]
+	if p == nil {
+		p = &ackPending{}
+		e.ackPend[f.Src] = p
+	}
+	rec := frame.AckRec{ID: f.ID, Rcv: f.To}
+	for i := range p.recs {
+		if p.recs[i] == rec {
+			return // a duplicate's re-ack is already queued
+		}
+	}
+	p.recs = append(p.recs, rec)
+	if !p.timerSet {
+		p.timerSet = true
+		src := f.Src
+		epoch := e.epoch
+		p.timer = e.sched.After(e.cfg.AckDelay, func() {
+			if e.epoch != epoch {
+				return
+			}
+			e.flushAcks(src)
+		})
+	}
+}
+
+// maxFlushAckRecs bounds the acknowledgement records of one standalone
+// cumulative Ack frame to the MTU.
+const maxFlushAckRecs = (frame.MaxBody - 16) / frame.AckRecLen
+
+// flushAcks emits the acknowledgements pending toward src as standalone
+// cumulative Ack frames — the fallback when the delay expires with no
+// reverse-direction traffic to ride.
+func (e *Endpoint) flushAcks(src frame.NodeID) {
+	p := e.ackPend[src]
+	if p == nil {
+		return
+	}
+	p.timerSet = false
+	for len(p.recs) > 0 {
+		n := len(p.recs)
+		if n > maxFlushAckRecs {
+			n = maxFlushAckRecs
+		}
+		last := p.recs[n-1]
+		cum, cumOK := e.cumFor(src)
+		e.stats.AcksDelayedFlush++
+		e.med.Send(e.node, &frame.Frame{
+			Type:      frame.Ack,
+			Src:       e.node,
+			Dst:       src,
+			ID:        last.ID, // header echoes the newest record for tracing
+			From:      last.Rcv,
+			To:        last.ID.Sender,
+			AckCumSet: cumOK,
+			AckCum:    cum,
+			AckRecs:   p.recs[:n],
+		})
+		p.recs = p.recs[n:]
+	}
+}
+
+// cumFor returns the cumulative acknowledgement (XSeq layout) for the stream
+// received from src: every sequence at or below it in that sender epoch has
+// been accepted and acknowledged here, so the sender may complete frames
+// whose individual acks were lost or superseded.
+func (e *Endpoint) cumFor(src frame.NodeID) (uint64, bool) {
+	st := e.rx[src]
+	if st == nil || !st.synced || st.expected == 0 {
+		return 0, false
+	}
+	return uint64(st.epoch)<<48 | ((st.expected - 1) & xseqSeqMask), true
+}
+
+// attachAcks piggybacks pending acknowledgement state for f.Dst onto an
+// outgoing gated frame. The attachment is transient: media clone frames at
+// Send, so the caller detaches immediately after — a later retransmission
+// then carries whatever is pending at its own send time.
+func (e *Endpoint) attachAcks(f *frame.Frame) {
+	if e.cfg.AckDelay <= 0 || f.Dst == frame.Broadcast {
+		return
+	}
+	if cum, ok := e.cumFor(f.Dst); ok {
+		f.AckCumSet = true
+		f.AckCum = cum
+	}
+	p := e.ackPend[f.Dst]
+	if p == nil || len(p.recs) == 0 {
+		return
+	}
+	n := len(p.recs)
+	if n > maxPiggybackRecs {
+		n = maxPiggybackRecs
+	}
+	// Never push the frame past the MTU (the 16-byte margin also covers the
+	// ack block header when the cumulative mark was not attachable).
+	if room := (frame.MTU - f.WireLen() - 16) / frame.AckRecLen; n > room {
+		n = room
+	}
+	if n <= 0 {
+		return
+	}
+	f.AckRecs = p.recs[:n]
+	p.recs = p.recs[n:]
+	e.stats.AcksPiggybacked += uint64(n)
+	if len(p.recs) == 0 && p.timerSet {
+		p.timerSet = false
+		e.sched.Cancel(p.timer)
+	}
+}
+
+// detachAcks strips a transient piggyback block after Send.
+func (e *Endpoint) detachAcks(f *frame.Frame) {
+	f.AckRecs = nil
+	f.AckCumSet = false
+	f.AckCum = 0
 }
 
 var _ lan.Station = (*Endpoint)(nil)

@@ -187,13 +187,24 @@ type Config struct {
 // DefaultConfig returns a publishing-enabled cluster of n nodes on a
 // perfect broadcast medium with media-level publish-before-use.
 func DefaultConfig(n int) Config {
+	// Steady-state wire efficiency on top of the thesis transport: coalesce
+	// small same-destination sends into Bundle frames, delay end-to-end acks
+	// so they ride reverse traffic (or flush cumulatively), and derive the
+	// retransmission timeout from measured round trips instead of the fixed
+	// interval. Zeroing these three fields restores the thesis per-message
+	// behavior (transport.DefaultConfig is unchanged).
+	tr := transport.DefaultConfig()
+	tr.FlushDelay = 500 * simtime.Microsecond
+	tr.AckDelay = 2 * simtime.Millisecond
+	tr.AdaptiveRTO = true
+	tr.MaxRTO = 400 * simtime.Millisecond
 	return Config{
 		Nodes:            n,
 		Medium:           MediumPerfect,
 		Seed:             1,
 		Publishing:       true,
 		LAN:              lan.DefaultConfig(),
-		Transport:        transport.DefaultConfig(),
+		Transport:        tr,
 		Costs:            demos.DefaultCosts(),
 		RecorderMode:     recorder.ModeMediaLayer,
 		WatchInterval:    500 * simtime.Millisecond,
