@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport sweep
+.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport bench-store sweep
 
-check: vet build test race sweep-verify chaos fuzz bench-transport
+check: vet build test race sweep-verify chaos fuzz bench-transport bench-store
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,7 @@ fuzz:
 	$(GO) test ./internal/frame -run '^$$' -fuzz FuzzFrameDecode -fuzztime 10s
 	$(GO) test ./internal/demos -run '^$$' -fuzz FuzzReplayBatchDecode -fuzztime 10s
 	$(GO) test ./internal/chaos -run '^$$' -fuzz FuzzChaosSchedule -fuzztime 10s
+	$(GO) test ./internal/stablestore -run '^$$' -fuzz FuzzSegmentDecode -fuzztime 10s
 
 # The parallel-vs-serial sweep determinism proof, without rewriting
 # BENCH_sweep.json (use `make sweep` to refresh the trajectory file).
@@ -75,6 +76,24 @@ ifdef OUT
 	$(GO) test -bench BenchmarkTransportWire -run '^$$' . | $(GO) run ./cmd/benchjson -o $(OUT) coalescing + delayed acks + adaptive RTO vs thesis per-message wire
 else
 	$(GO) test -bench BenchmarkTransportWire -run '^$$' . | $(GO) run ./cmd/benchjson
+endif
+
+# The storage-engine trajectory: paged vs log-structured segment store under
+# the open-loop million-message workload (append throughput at a literal 10^6
+# records via -benchtime 1000000x, checkpoint-truncation cost against segment
+# count, recovery-rebuild time). The default (check-time) run measures a
+# shorter stream and prints the snapshot without touching the committed
+# BENCH_store.json; regenerate the trajectory with
+# `make bench-store OUT=BENCH_store.json` after deleting the old file.
+bench-store:
+ifdef OUT
+	{ $(GO) test -bench BenchmarkStoreMillionAppend -benchtime 1000000x -run '^$$' . ; \
+	  $(GO) test -bench 'BenchmarkStoreTruncate|BenchmarkStoreReopen' -benchtime 20x -run '^$$' . ; } \
+		| $(GO) run ./cmd/benchjson -o $(OUT) log-structured segment store with group commit vs paged engine
+else
+	{ $(GO) test -bench BenchmarkStoreMillionAppend -benchtime 100000x -run '^$$' . ; \
+	  $(GO) test -bench 'BenchmarkStoreTruncate|BenchmarkStoreReopen' -benchtime 5x -run '^$$' . ; } \
+		| $(GO) run ./cmd/benchjson
 endif
 
 # Regenerate BENCH_sweep.json (parallel-vs-serial determinism proof).

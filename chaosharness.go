@@ -7,6 +7,7 @@ import (
 
 	"publishing/internal/chaos"
 	"publishing/internal/simtime"
+	"publishing/internal/stablestore"
 )
 
 // This file is the bridge between internal/chaos and a Cluster: the
@@ -30,6 +31,10 @@ type ChaosOptions struct {
 	// negative testing: a run with injected duplication must then fail the
 	// exactly-once invariant, proving the checker has teeth.
 	BreakDupSuppression bool
+	// SegmentStore runs the recorders on the log-structured segmented
+	// stable store instead of the thesis-exact paged default, so fault
+	// schedules (including store-write faults) exercise both engines.
+	SegmentStore bool
 }
 
 // chaosWorkerBound is the recovery-time bound the Checkpoint option sets.
@@ -134,6 +139,9 @@ func ChaosScenario(seed uint64, opt ChaosOptions) chaos.Scenario {
 		cfg.CheckpointPolicy = CheckpointBound
 		cfg.CheckpointTick = 300 * simtime.Millisecond
 	}
+	if opt.SegmentStore {
+		cfg.Store.Backend = stablestore.BackendSegment
+	}
 	c := New(cfg)
 	wl := &chaosWorkload{n: opt.Msgs}
 	c.Registry().RegisterMachine("chaos-witness", func([]byte) Machine {
@@ -199,14 +207,16 @@ func ChaosBuild(opt ChaosOptions) chaos.BuildFunc {
 
 // ChaosSeedVariant derives per-seed option diversity for sweeps: a third of
 // seeds run with the checkpoint-bound policy armed (exercising chunked
-// checkpoint transfer and the bounded-recovery invariant), and media rotate
-// through the sweep so every LAN simulation faces schedules.
+// checkpoint transfer and the bounded-recovery invariant), half run on the
+// segmented stable store, and media rotate through the sweep so every LAN
+// simulation faces schedules.
 func ChaosSeedVariant(seed uint64) ChaosOptions {
 	opt := ChaosOptions{}
 	switch seed % 3 {
 	case 1:
 		opt.Checkpoint = true
 	}
+	opt.SegmentStore = seed%2 == 0
 	switch seed % 4 {
 	case 1:
 		opt.Medium = MediumEther

@@ -28,6 +28,8 @@ func main() {
 		nodeopt  = flag.Bool("nodeopt", false, "§6.6.2 node-level recovery trade-off")
 		doSweep  = flag.Bool("sweep", false, "parallel deterministic seed sweep; writes -sweepout")
 		sweepOut = flag.String("sweepout", "BENCH_sweep.json", "trajectory file the sweep writes")
+		workers  = flag.Int("workers", 0, "sweep: worker pool size (0 = one per CPU)")
+		storeEng = flag.String("store", "paged", "observe: stable-store backend (paged|segment)")
 		doVerify = flag.Bool("verify", false, "run the sweep determinism check without writing a trajectory file")
 		doChaos  = flag.Bool("chaos", false, "seeded fault-schedule sweep through the chaos harness")
 		chaosN   = flag.Int("chaosn", 10, "chaos: number of consecutive seeds to sweep")
@@ -45,7 +47,7 @@ func main() {
 	}
 	if *observe {
 		// Like the sweep, a tool run outside the default paper set.
-		runObserve(observeOpts{metricsOut: *metOut, traceOut: *traceOut, flight: *flight, seed: *seed})
+		runObserve(observeOpts{metricsOut: *metOut, traceOut: *traceOut, flight: *flight, seed: *seed, store: *storeEng})
 		return
 	}
 	if *doSweep || *doVerify {
@@ -55,7 +57,7 @@ func main() {
 		if *doVerify {
 			out = ""
 		}
-		runSweep(out)
+		runSweep(out, *workers)
 		return
 	}
 	all := !(*fig31 || *fig57 || *fig58 || *publish || *nodeopt)

@@ -12,6 +12,7 @@ import (
 
 	"publishing"
 	"publishing/internal/simtime"
+	"publishing/internal/stablestore"
 )
 
 // observeOpts carries the surfacing flags from main.
@@ -20,6 +21,7 @@ type observeOpts struct {
 	traceOut   string // Chrome trace-event JSON file
 	flight     int    // flight-recorder bound on the trace ring
 	seed       uint64
+	store      string // stable-store backend: "paged" (default) or "segment"
 }
 
 // runObserve boots a 3-node published cluster, crashes the worker's node
@@ -32,6 +34,7 @@ func runObserve(o observeOpts) {
 	cfg.Medium = publishing.MediumEther
 	cfg.Seed = o.seed
 	cfg.FlightRecorder = o.flight
+	cfg.Store.Backend = stablestore.Backend(o.store)
 	c := publishing.New(cfg)
 	if o.traceOut != "" {
 		c.Trace().SetDetailed(true)

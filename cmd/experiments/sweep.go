@@ -81,8 +81,11 @@ type sweepFile struct {
 // runSweep fans the (medium, seed) grid across the worker pool, checks the
 // parallel outputs against a serial reference run, and writes the
 // trajectory file. An empty out runs the determinism check only (the
-// `make check` verification mode).
-func runSweep(out string) {
+// `make check` verification mode). workers <= 0 means one per available
+// CPU (runtime.GOMAXPROCS(0)); note that on a single-CPU machine the
+// "parallel" run degenerates to serial plus goroutine overhead, so the
+// recorded speedup can dip below 1.0 without indicating a bug.
+func runSweep(out string, workers int) {
 	section("parallel deterministic sweep (internal/sweep)")
 	var tasks []sweep.Task
 	for _, medium := range []string{"perfect", "ether", "ring", "star"} {
@@ -90,7 +93,9 @@ func runSweep(out string) {
 			tasks = append(tasks, sweep.Task{Config: medium, Seed: seed})
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	fmt.Printf("  %d tasks (4 media x 4 seeds), %d workers\n", len(tasks), workers)
 
 	t0 := time.Now()

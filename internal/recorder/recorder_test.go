@@ -119,7 +119,7 @@ func ids(ms []storedMsg) []uint64 {
 }
 
 // newBench builds a recorder on a quiet medium for direct-observation tests.
-func newBench(t *testing.T) (*Recorder, *simtime.Scheduler, *stablestore.Store) {
+func newBench(t *testing.T) (*Recorder, *simtime.Scheduler, stablestore.Store) {
 	t.Helper()
 	sched := simtime.NewScheduler()
 	log := trace.New(sched.Now)

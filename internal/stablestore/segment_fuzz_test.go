@@ -1,0 +1,122 @@
+package stablestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// sealImage builds the canonical sealed-segment file image for recs —
+// records, index block, footer — the same bytes sealLocked writes.
+func sealImage(recs []Record) []byte {
+	g := newSegment(0, 0)
+	for i := range recs {
+		r := recs[i]
+		ord := uint32(g.count())
+		g.data = appendRecord(g.data, &r)
+		g.recOff = append(g.recOff, uint32(len(g.data)))
+		kr := g.run(r.Key)
+		kr.seqs = append(kr.seqs, r.Seq)
+		kr.ords = append(kr.ords, ord)
+		if r.Seq < kr.minSeq {
+			kr.minSeq = r.Seq
+		}
+		if r.Seq > kr.maxSeq {
+			kr.maxSeq = r.Seq
+		}
+	}
+	return append(append([]byte(nil), g.data...), encodeSegmentTail(g)...)
+}
+
+func recordsEqual(a, b []Record) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || a[i].Key != b[i].Key ||
+			a[i].Seq != b[i].Seq || !bytes.Equal(a[i].Data, b[i].Data) {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSegmentDecode throws arbitrary bytes at the segment-file decoder and
+// checks the recovery invariants: never panic, and whatever records come
+// back re-encode into a canonical sealed image that decodes to the same
+// records (the round-trip the recorder's rebuild depends on). The seeds
+// cover the crash shapes the file-backed tests pin individually: a torn
+// final segment, a truncated index block, paged-style zero padding, and a
+// duplicate (key, seq) run.
+func FuzzSegmentDecode(f *testing.F) {
+	recs := []Record{
+		{Kind: KindMessage, Key: "msg:0", Seq: 1, Data: []byte("hello")},
+		{Kind: KindMessage, Key: "msg:1", Seq: 1, Data: bytes.Repeat([]byte{0xab}, 300)},
+		{Kind: KindCheckpoint, Key: "ck:0", Seq: 1, Data: []byte("state")},
+		{Kind: KindMeta, Key: "meta:restart", Seq: 2},
+		{Kind: KindMessage, Key: "msg:0", Seq: 2, Data: []byte("world")},
+	}
+	whole := sealImage(recs)
+	f.Add([]byte(nil))
+	f.Add(whole)
+	// Torn final segment: the crash cut the last record short.
+	f.Add(whole[:len(whole)/2])
+	// Truncated index: data region intact, index and footer cut off mid-way.
+	dataLen := 0
+	for i := range recs {
+		dataLen = len(appendRecord(make([]byte, 0, 1024), &recs[i])) + dataLen
+	}
+	f.Add(whole[:dataLen+6])
+	// Zero padding after valid records (a paged-style page tail).
+	f.Add(append(append([]byte(nil), whole[:dataLen]...), make([]byte, 64)...))
+	// Duplicate (key, seq): the dedup happens above the codec, so the
+	// decoder must pass both through.
+	f.Add(sealImage([]Record{
+		{Kind: KindMessage, Key: "dup", Seq: 7, Data: []byte("a")},
+		{Kind: KindMessage, Key: "dup", Seq: 7, Data: []byte("b")},
+	}))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		recs, sealed, err := decodeSegment(b)
+		if err != nil {
+			t.Fatalf("decodeSegment error on arbitrary input: %v", err)
+		}
+		if sealed {
+			// A sealed verdict means both CRCs matched and the record
+			// count agreed — the decode must account for every data byte.
+			n := 0
+			for i := range recs {
+				n += len(appendRecord(nil, &recs[i]))
+			}
+			foot := b[len(b)-segFooterSize:]
+			if got := int(binary.BigEndian.Uint64(foot[0:8])); n > got {
+				t.Fatalf("sealed decode used %d bytes of a %d-byte data region", n, got)
+			}
+		}
+
+		// Round trip: whatever was recovered re-encodes to a canonical
+		// sealed image that decodes back to the same records.
+		img := sealImage(recs)
+		recs2, sealed2, err := decodeSegment(img)
+		if err != nil || !sealed2 {
+			t.Fatalf("canonical re-encode did not decode sealed: err=%v sealed=%v", err, sealed2)
+		}
+		if !recordsEqual(recs, recs2) {
+			t.Fatalf("round trip changed records: %d in, %d out", len(recs), len(recs2))
+		}
+
+		// Tearing the canonical image's footer off must fall back to the
+		// prefix scan and recover a prefix of the same records.
+		if len(img) > segFooterSize {
+			recs3, sealed3, err := decodeSegment(img[:len(img)-segFooterSize])
+			if err != nil {
+				t.Fatalf("torn decode error: %v", err)
+			}
+			if !sealed3 {
+				if len(recs3) > len(recs) || !recordsEqual(recs3, recs[:len(recs3)]) {
+					t.Fatalf("torn decode is not a prefix: %d of %d records", len(recs3), len(recs))
+				}
+			}
+		}
+	})
+}

@@ -6,13 +6,22 @@
 // buffer to a disk page, the disk page is read in. Any messages that are no
 // longer valid are removed and the buffer is compacted."
 //
-// Two backends exist: an in-memory Store (the default for simulations,
-// modelling a disk that survives recorder crashes, which the simulation
-// injects by discarding only the recorder's volatile state) and a
-// file-backed Store for the cmd/starhub real-network mode. Both expose the
-// same page/record API and both support rebuilding the recorder's process
-// database purely from stored pages ("If the recorder crashes, it is
-// possible to rebuild the data base from the disk", §4.5).
+// Two engines implement the Store interface:
+//
+//   - Paged is the thesis-exact 4 KB-paged store (the default): per-key
+//     page chains, read-modify-write page allocation, and lazy in-place
+//     compaction. It exists in-memory (simulations, modelling a disk that
+//     survives recorder crashes) and file-backed (cmd/starhub).
+//   - Segmented is the log-structured high-volume engine: appends land in
+//     an active segment committed at group-commit boundaries, sealed
+//     segments are immutable with a per-segment sparse (key, seq) index,
+//     and checkpoint truncation drops whole dead segments in O(segments).
+//
+// Both engines support rebuilding the recorder's process database purely
+// from stored records ("If the recorder crashes, it is possible to rebuild
+// the data base from the disk", §4.5), and the same record sequence fed to
+// either engine rebuilds a byte-identical database (the cross-backend
+// oracle the root acceptance tests enforce).
 package stablestore
 
 import (
@@ -73,49 +82,167 @@ func (r *Record) encode(buf *bytes.Buffer) {
 
 var errCorruptPage = errors.New("stablestore: corrupt page")
 
+// appendRecord flat-encodes r onto dst — same wire format as
+// Record.encode, without the bytes.Buffer indirection (the segmented
+// engine's append hot path).
+func appendRecord(dst []byte, r *Record) []byte {
+	var tmp [8]byte
+	dst = append(dst, byte(r.Kind))
+	binary.BigEndian.PutUint16(tmp[:2], uint16(len(r.Key)))
+	dst = append(dst, tmp[:2]...)
+	dst = append(dst, r.Key...)
+	binary.BigEndian.PutUint64(tmp[:8], r.Seq)
+	dst = append(dst, tmp[:8]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(len(r.Data)))
+	dst = append(dst, tmp[:4]...)
+	dst = append(dst, r.Data...)
+	return dst
+}
+
+// decodeOne parses the record at the head of b, returning it and its
+// encoded length. A leading zero byte (page padding) returns n == 0 with a
+// nil error.
+func decodeOne(b []byte) (Record, int, error) {
+	if len(b) == 0 || b[0] == 0 {
+		return Record{}, 0, nil
+	}
+	if len(b) < 3 {
+		return Record{}, 0, errCorruptPage
+	}
+	kind := RecordKind(b[0])
+	kl := int(binary.BigEndian.Uint16(b[1:3]))
+	if len(b) < 3+kl+12 {
+		return Record{}, 0, errCorruptPage
+	}
+	key := string(b[3 : 3+kl])
+	seq := binary.BigEndian.Uint64(b[3+kl : 3+kl+8])
+	dl := int(binary.BigEndian.Uint32(b[3+kl+8 : 3+kl+12]))
+	n := 3 + kl + 12 + dl
+	if len(b) < n {
+		return Record{}, 0, errCorruptPage
+	}
+	data := append([]byte(nil), b[3+kl+12:n]...)
+	return Record{Kind: kind, Key: key, Seq: seq, Data: data}, n, nil
+}
+
 func decodeRecords(b []byte) ([]Record, error) {
 	var out []Record
 	for len(b) > 0 {
-		if b[0] == 0 {
+		rec, n, err := decodeOne(b)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
 			break // zero padding: end of page
 		}
-		if len(b) < 3 {
-			return nil, errCorruptPage
-		}
-		kind := RecordKind(b[0])
-		kl := int(binary.BigEndian.Uint16(b[1:3]))
-		b = b[3:]
-		if len(b) < kl+12 {
-			return nil, errCorruptPage
-		}
-		key := string(b[:kl])
-		seq := binary.BigEndian.Uint64(b[kl : kl+8])
-		dl := int(binary.BigEndian.Uint32(b[kl+8 : kl+12]))
-		b = b[kl+12:]
-		if len(b) < dl {
-			return nil, errCorruptPage
-		}
-		data := append([]byte(nil), b[:dl]...)
-		b = b[dl:]
-		out = append(out, Record{Kind: kind, Key: key, Seq: seq, Data: data})
+		b = b[n:]
+		out = append(out, rec)
 	}
 	return out, nil
 }
 
 // Stats counts store activity, feeding the recorder-disk utilization model.
+// The Seg* fields stay zero on the paged engine; PageWrites/PageReads stay
+// zero on the segmented engine.
 type Stats struct {
 	Appends     uint64
 	PageWrites  uint64
 	PageReads   uint64
-	Compacted   uint64 // records dropped by compaction
+	Compacted   uint64 // records dropped by compaction/truncation
 	BytesLive   uint64
 	WriteFaults uint64 // page writes failed by the injected fault hook
+
+	// Segmented-engine counters.
+	SegFlushes  uint64 // group commits (one per flush window with data)
+	SegSealed   uint64 // segments sealed immutable
+	SegDropped  uint64 // whole segments dropped by truncation
+	SegRewrites uint64 // frontier segments rewritten by the compactor
+	Segments    uint64 // current segment count (sealed + active)
+	BytesDead   uint64 // payload bytes invalidated but not yet reclaimed
 }
 
-// Store is the paged stable store. It is safe for concurrent use (the
-// starhub server runs it from multiple connections); simulations call it
-// single-threaded.
-type Store struct {
+// Store is the engine interface the recorder writes through. Two
+// implementations exist: *Paged (thesis-exact default) and *Segmented (the
+// log-structured high-volume engine). Select one with NewStore.
+type Store interface {
+	// Append stores a record, returning the page (paged) or segment
+	// (segmented) it lands on.
+	Append(r Record) (uint64, error)
+	// Flush is a durability boundary: the paged engine seals the write
+	// buffer and syncs dirty pages; the segmented engine group-commits
+	// every record that arrived since the previous flush.
+	Flush() error
+	// Invalidate marks message records of key with seq <= through garbage.
+	Invalidate(key string, through uint64)
+	// InvalidateSeqs marks specific (key, seq) message records garbage.
+	InvalidateSeqs(key string, seqs []uint64)
+	// Compact reclaims garbage: the paged engine rewrites affected pages in
+	// place; the segmented engine drops whole dead segments (O(segments))
+	// and rewrites at most one frontier segment.
+	Compact() (int, error)
+	// ReadAll returns every stored record in insertion order.
+	ReadAll() ([]Record, error)
+	// ReadKey returns key's records in seq order.
+	ReadKey(key string) ([]Record, error)
+	// Pages returns the storage footprint (pages or segments).
+	Pages() int
+	Stats() Stats
+	// SetWriteFault installs a fault hook consulted before logical writes.
+	SetWriteFault(fn func() error)
+	Close() error
+}
+
+// BatchObserver is implemented by engines that group-commit; the recorder
+// uses it to feed the per-flush batch-size histogram without the store
+// depending on the metrics package.
+type BatchObserver interface {
+	SetBatchObserver(fn func(records int))
+}
+
+// Backend names a storage engine.
+type Backend string
+
+const (
+	// BackendPaged is the thesis-exact 4 KB-paged engine (the default).
+	BackendPaged Backend = "paged"
+	// BackendSegment is the log-structured segment engine.
+	BackendSegment Backend = "segment"
+)
+
+// Config selects and tunes a store engine.
+type Config struct {
+	// Backend picks the engine; empty means BackendPaged.
+	Backend Backend
+	// Path enables file backing: a single page file for the paged engine, a
+	// segment directory for the segmented one. Empty means in-memory.
+	Path string
+	// SegmentBytes is the segmented engine's seal threshold (0 means
+	// DefaultSegmentBytes).
+	SegmentBytes int
+}
+
+// NewStore builds the engine cfg selects.
+func NewStore(cfg Config) (Store, error) {
+	switch cfg.Backend {
+	case "", BackendPaged:
+		if cfg.Path != "" {
+			return Open(cfg.Path)
+		}
+		return New(), nil
+	case BackendSegment:
+		if cfg.Path != "" {
+			return OpenSegmented(cfg.Path, cfg.SegmentBytes)
+		}
+		return NewSegmented(cfg.SegmentBytes), nil
+	default:
+		return nil, fmt.Errorf("stablestore: unknown backend %q", cfg.Backend)
+	}
+}
+
+// Paged is the thesis-exact paged stable store. It is safe for concurrent
+// use (the starhub server runs it from multiple connections); simulations
+// call it single-threaded.
+type Paged struct {
 	mu    sync.Mutex
 	pages map[uint64][]byte // pageID -> encoded page (PageSize)
 	next  uint64
@@ -156,9 +283,9 @@ type Store struct {
 	f *os.File
 }
 
-// New returns an in-memory store.
-func New() *Store {
-	return &Store{
+// New returns an in-memory paged store.
+func New() *Paged {
+	return &Paged{
 		pages:    make(map[uint64][]byte),
 		invalid:  make(map[string]uint64),
 		keyPages: make(map[string][]uint64),
@@ -166,7 +293,7 @@ func New() *Store {
 }
 
 // Open returns a file-backed store, loading any existing pages from path.
-func Open(path string) (*Store, error) {
+func Open(path string) (*Paged, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -198,7 +325,7 @@ func Open(path string) (*Store, error) {
 // and fail: a first page is recognizable because its single record's encoded
 // length exceeds the page, and its continuations are the immediately
 // following pages (Append allocates them contiguously).
-func (s *Store) rebuildIndexLocked() {
+func (s *Paged) rebuildIndexLocked() {
 	ids := make([]uint64, 0, len(s.pages))
 	for id := range s.pages {
 		ids = append(ids, id)
@@ -251,7 +378,7 @@ func peekRecord(b []byte) (key string, total int, ok bool) {
 
 // indexKeyLocked records that page id holds records of key (dedupes the
 // common case of consecutive appends landing on the same buffer page).
-func (s *Store) indexKeyLocked(key string, id uint64) {
+func (s *Paged) indexKeyLocked(key string, id uint64) {
 	ids := s.keyPages[key]
 	if n := len(ids); n > 0 && ids[n-1] == id {
 		return
@@ -261,7 +388,7 @@ func (s *Store) indexKeyLocked(key string, id uint64) {
 
 // dropKeyPageLocked removes page id from key's index (compaction dropped
 // the key's last record on that page).
-func (s *Store) dropKeyPageLocked(key string, id uint64) {
+func (s *Paged) dropKeyPageLocked(key string, id uint64) {
 	ids := s.keyPages[key]
 	for i, p := range ids {
 		if p == id {
@@ -272,7 +399,7 @@ func (s *Store) dropKeyPageLocked(key string, id uint64) {
 }
 
 // Close releases the file backing, if any.
-func (s *Store) Close() error {
+func (s *Paged) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
@@ -290,7 +417,7 @@ func (s *Store) Close() error {
 }
 
 // Stats returns a copy of the counters.
-func (s *Store) Stats() Stats {
+func (s *Paged) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
@@ -300,7 +427,7 @@ func (s *Store) Stats() Stats {
 // before every logical page write; a non-nil return error fails the write.
 // The hook runs with the store lock held and must not call back into the
 // store.
-func (s *Store) SetWriteFault(fn func() error) {
+func (s *Paged) SetWriteFault(fn func() error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.writeFault = fn
@@ -310,7 +437,7 @@ func (s *Store) SetWriteFault(fn func() error) {
 // than a page are split across dedicated pages transparently on read; for
 // simplicity here they get a page of their own (checkpoints are the only
 // large records).
-func (s *Store) Append(r Record) (uint64, error) {
+func (s *Paged) Append(r Record) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Appends++
@@ -357,7 +484,7 @@ func (s *Store) Append(r Record) (uint64, error) {
 	return s.bufPage, nil
 }
 
-func (s *Store) oversize(first, page uint64) {
+func (s *Paged) oversize(first, page uint64) {
 	if s.chains == nil {
 		s.chains = make(map[uint64][]uint64)
 		s.chainSet = make(map[uint64]bool)
@@ -374,7 +501,7 @@ func (s *Store) oversize(first, page uint64) {
 // The recorder calls it before acknowledging a message (§3.3.4: the
 // acknowledgement "is given only after the message has been reliably
 // stored") — or batches it, which is the 4 KB-buffer optimization of §5.1.
-func (s *Store) Flush() error {
+func (s *Paged) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
@@ -385,7 +512,7 @@ func (s *Store) Flush() error {
 
 // flushLocked seals the current write buffer into its page. The page is
 // only marked dirty; physical writes batch up until syncLocked.
-func (s *Store) flushLocked() error {
+func (s *Paged) flushLocked() error {
 	if s.buf.Len() == 0 {
 		return nil
 	}
@@ -403,7 +530,7 @@ func (s *Store) flushLocked() error {
 // deferred: dirty pages are synced together at the next Flush/Close/Compact
 // boundary, so a burst of appends costs one syscall pass instead of one per
 // page write.
-func (s *Store) writePageLocked(id uint64) error {
+func (s *Paged) writePageLocked(id uint64) error {
 	if s.writeFault != nil {
 		if err := s.writeFault(); err != nil {
 			s.stats.WriteFaults++
@@ -422,7 +549,7 @@ func (s *Store) writePageLocked(id uint64) error {
 }
 
 // syncLocked writes every dirty page to the file backing, in page order.
-func (s *Store) syncLocked() error {
+func (s *Paged) syncLocked() error {
 	if s.f == nil || len(s.dirty) == 0 {
 		return nil
 	}
@@ -440,7 +567,7 @@ func (s *Store) syncLocked() error {
 	return nil
 }
 
-func (s *Store) allocLocked() uint64 {
+func (s *Paged) allocLocked() uint64 {
 	id := s.next
 	s.next++
 	return id
@@ -450,7 +577,7 @@ func (s *Store) allocLocked() uint64 {
 // compaction reclaims them lazily ("Any messages that are no longer valid
 // are removed and the buffer is compacted", §4.5). The recorder calls this
 // after a checkpoint supersedes old messages (§3.3.1).
-func (s *Store) Invalidate(key string, through uint64) {
+func (s *Paged) Invalidate(key string, through uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if cur, ok := s.invalid[key]; !ok || through > cur {
@@ -459,7 +586,7 @@ func (s *Store) Invalidate(key string, through uint64) {
 }
 
 // InvalidateSeqs marks specific (key, seq) message records as garbage.
-func (s *Store) InvalidateSeqs(key string, seqs []uint64) {
+func (s *Paged) InvalidateSeqs(key string, seqs []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.invalidSeqs == nil {
@@ -476,7 +603,7 @@ func (s *Store) InvalidateSeqs(key string, seqs []uint64) {
 }
 
 // dead reports whether a message record is invalidated.
-func (s *Store) dead(r *Record) bool {
+func (s *Paged) dead(r *Record) bool {
 	if r.Kind != KindMessage {
 		return false
 	}
@@ -490,7 +617,7 @@ func (s *Store) dead(r *Record) bool {
 // them. Only pages indexed under a key with invalidations are visited —
 // compaction cost scales with the garbage, not the store. It returns the
 // number of records dropped.
-func (s *Store) Compact() (int, error) {
+func (s *Paged) Compact() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
@@ -564,11 +691,11 @@ func (s *Store) Compact() (int, error) {
 	return dropped, nil
 }
 
-func (s *Store) isChainPage(id uint64) bool { return s.chainSet[id] }
+func (s *Paged) isChainPage(id uint64) bool { return s.chainSet[id] }
 
 // ReadAll returns every live record, ordered by (key, seq, insertion). The
 // recorder uses it to rebuild its database after a crash (§3.3.4, §4.5).
-func (s *Store) ReadAll() ([]Record, error) {
+func (s *Paged) ReadAll() ([]Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
@@ -618,7 +745,7 @@ func (s *Store) ReadAll() ([]Record, error) {
 // ReadKey returns the live records for one key in seq order. The per-key
 // page index makes this proportional to the key's own pages rather than a
 // full-store scan.
-func (s *Store) ReadKey(key string) ([]Record, error) {
+func (s *Paged) ReadKey(key string) ([]Record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
@@ -664,7 +791,7 @@ func (s *Store) ReadKey(key string) ([]Record, error) {
 }
 
 // Pages returns the number of allocated pages (storage footprint).
-func (s *Store) Pages() int {
+func (s *Paged) Pages() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := len(s.pages)

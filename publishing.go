@@ -33,6 +33,7 @@ package publishing
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 
 	"publishing/internal/checkpoint"
 	"publishing/internal/debugger"
@@ -173,6 +174,12 @@ type Config struct {
 	CheckpointPolicy CheckpointPolicyKind
 	CheckpointTick   simtime.Time
 
+	// Store selects the stable-store engine behind every recorder: the
+	// thesis-exact paged backend (zero value) or the log-structured
+	// segmented backend. Path, when set, makes the stores file-backed
+	// (one directory per recorder under Path).
+	Store stablestore.Config
+
 	// SystemProcs boots the DEMOS process-control system (process manager,
 	// memory scheduler, name server) on node 0.
 	SystemProcs bool
@@ -227,7 +234,7 @@ type Cluster struct {
 
 	kernels map[NodeID]*demos.Kernel
 	recs    []*recorder.Recorder
-	stores  []*stablestore.Store
+	stores  []stablestore.Store
 	// services mirrors servicesShared for read access; servicesShared is
 	// the map instance every kernel holds a reference to.
 	services       map[string]ProcID
@@ -362,7 +369,14 @@ func New(cfg Config) *Cluster {
 					rcfg.Peers = append(rcfg.Peers, p)
 				}
 			}
-			store := stablestore.New()
+			scfg := cfg.Store
+			if scfg.Path != "" {
+				scfg.Path = filepath.Join(cfg.Store.Path, fmt.Sprintf("rec%d", i))
+			}
+			store, err := stablestore.NewStore(scfg)
+			if err != nil {
+				panic(fmt.Sprintf("publishing: open stable store: %v", err))
+			}
 			rec := recorder.New(rcfg, c.sched, c.rng.Fork(), c.log, c.med, store, rtcfg)
 			rec.Start()
 			c.recs = append(c.recs, rec)
@@ -534,7 +548,7 @@ func (c *Cluster) Metrics() *metrics.Registry { return c.mets }
 
 // Store returns the primary recorder's stable store (nil when publishing
 // is off).
-func (c *Cluster) Store() *stablestore.Store {
+func (c *Cluster) Store() stablestore.Store {
 	if len(c.stores) == 0 {
 		return nil
 	}
