@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport bench-store sweep
+.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport bench-store bench-sim scale-smoke sweep
 
-check: vet build test race sweep-verify chaos fuzz bench-transport bench-store
+check: vet build test race sweep-verify chaos fuzz scale-smoke bench-transport bench-store bench-sim
 
 vet:
 	$(GO) vet ./...
@@ -95,6 +95,27 @@ else
 	  $(GO) test -bench 'BenchmarkStoreTruncate|BenchmarkStoreReopen' -benchtime 5x -run '^$$' . ; } \
 		| $(GO) run ./cmd/benchjson
 endif
+
+# The big-cluster simulator-throughput trajectory: events per wall second
+# and virtual seconds per wall second on the workload-driven broadcast
+# scenario at 8/64/256 nodes (see EXPERIMENTS.md). The default (check-time)
+# run measures once per size and prints the snapshot without touching the
+# committed BENCH_sim.json; refresh the trajectory's "after" half with
+# `make bench-sim OUT=BENCH_sim.json` (the committed before half — the
+# pre-overhaul hot loop — is preserved).
+bench-sim:
+ifdef OUT
+	$(GO) test -bench BenchmarkSimThroughput -benchtime 2x -run '^$$' . 		| $(GO) run ./cmd/benchjson -after $(OUT) hot-loop overhaul: 4-ary event heap, dense per-destination tables, zero-alloc no-fault broadcast delivery, ownership-transfer sends
+else
+	$(GO) test -bench BenchmarkSimThroughput -run '^$$' . | $(GO) run ./cmd/benchjson
+endif
+
+# The 256-node scale smokes: same-seed double-run byte-identity of metrics
+# and recorder databases, and the chaos-schedule sweep at cluster scale.
+# Both are testing.Short()-guarded so tier-1 `go test -short ./...` skips
+# them; this target (wired into check) runs them in full.
+scale-smoke:
+	$(GO) test -run 'TestScaleDeterminism256|TestChaosSmoke256' -count=1 -v .
 
 # Regenerate BENCH_sweep.json (parallel-vs-serial determinism proof).
 sweep:

@@ -238,18 +238,21 @@ func runDiff(paths []string) {
 		fmt.Fprintln(os.Stderr, "usage: benchjson -diff old.json [new.json]")
 		os.Exit(1)
 	}
-	if missing, extra := nameSetDiff(old, cur); len(missing) > 0 || len(extra) > 0 {
-		// Disjoint or drifted benchmark sets mean the snapshots measure
-		// different things; a per-row delta over the intersection would
-		// read as a perf change when it is really a harness change.
-		if len(missing) > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: only in old snapshot: %s\n", strings.Join(missing, ", "))
-		}
-		if len(extra) > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: only in new snapshot: %s\n", strings.Join(extra, ", "))
-		}
-		fmt.Fprintln(os.Stderr, "benchjson: benchmark name sets differ; re-run both sides with the same -bench selection")
+	missing, extra := nameSetDiff(old, cur)
+	if len(missing) > 0 {
+		// A benchmark that vanished means the snapshots measure different
+		// things; a per-row delta over the intersection would read as a
+		// perf change when it is really a harness change.
+		fmt.Fprintf(os.Stderr, "benchjson: only in old snapshot: %s\n", strings.Join(missing, ", "))
+		fmt.Fprintln(os.Stderr, "benchjson: benchmarks removed; re-run both sides with the same -bench selection")
 		os.Exit(1)
+	}
+	if len(extra) > 0 {
+		// New benchmarks (and likewise new per-bench ReportMetric units) are
+		// additive: the shared rows still diff meaningfully, so growing a
+		// trajectory must not be a breaking change. The new rows print with
+		// an old value of "-".
+		fmt.Fprintf(os.Stderr, "benchjson: new in this snapshot (no old value): %s\n", strings.Join(extra, ", "))
 	}
 	diffSnapshots(os.Stdout, old, cur)
 }

@@ -13,6 +13,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"publishing/internal/checkpoint"
 	"publishing/internal/measure"
@@ -38,8 +41,39 @@ func main() {
 		traceOut = flag.String("trace-out", "", "observe: write a Chrome trace-event JSON timeline here")
 		flight   = flag.Int("flight", 0, "observe: keep only the most recent N trace events")
 		seed     = flag.Uint64("seed", 1, "observe: determinism seed")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run here")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit here")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle so the profile shows live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 	if *doChaos {
 		// A tool run like the sweep; -seed picks the first schedule.
 		runChaos(*seed, *chaosN)

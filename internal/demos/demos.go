@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"publishing/internal/frame"
+	"publishing/internal/gobx"
 	"publishing/internal/simtime"
 )
 
@@ -359,25 +360,46 @@ const (
 	NoticeMigrated
 )
 
+// Notices ride on every published message's arrival and controls on every
+// recovery step, so both bodies go through cached gobx codecs: the wire
+// bytes stay exactly the one-shot gob streams they have always been, but
+// the per-call type-descriptor and decode-engine work is amortized away.
+var (
+	ctlCodec    gobx.Codec[CtlMsg]
+	noticeCodec gobx.Codec[Notice]
+)
+
 // EncodeCtl gob-encodes a control body.
-func EncodeCtl(m *CtlMsg) []byte { return mustGob(m) }
+func EncodeCtl(m *CtlMsg) []byte {
+	b, err := ctlCodec.Encode(nil, m)
+	if err != nil {
+		panic(fmt.Sprintf("demos: gob encode: %v", err))
+	}
+	return b
+}
 
 // DecodeCtl decodes a control body.
 func DecodeCtl(b []byte) (*CtlMsg, error) {
 	var m CtlMsg
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+	if err := ctlCodec.Decode(b, &m); err != nil {
 		return nil, fmt.Errorf("demos: bad control message: %w", err)
 	}
 	return &m, nil
 }
 
 // EncodeNotice gob-encodes a recorder notice.
-func EncodeNotice(n *Notice) []byte { return mustGob(n) }
+func EncodeNotice(n *Notice) []byte {
+	b, err := noticeCodec.Encode(nil, n)
+	if err != nil {
+		panic(fmt.Sprintf("demos: gob encode: %v", err))
+	}
+	return b
+}
 
 // DecodeNotice decodes a recorder notice.
 func DecodeNotice(b []byte) (*Notice, error) {
 	var n Notice
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&n); err != nil {
+	if err := noticeCodec.Decode(b, &n); err != nil {
 		return nil, fmt.Errorf("demos: bad notice: %w", err)
 	}
 	return &n, nil

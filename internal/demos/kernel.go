@@ -77,6 +77,11 @@ type Kernel struct {
 
 	runq            []*process
 	dispatchPending bool
+	// dispatchFn is the scheduled-dispatch callback, rebuilt only when the
+	// boot epoch changes: one dispatch event fires per quantum, so capturing
+	// the epoch in a fresh closure each time was a per-quantum allocation.
+	dispatchFn      func()
+	dispatchFnEpoch uint32
 	// cpuFree is when the node CPU finishes its current work.
 	cpuFree simtime.Time
 	// kernelCPU accumulates kernel-mode busy time (Get_Run_Time, Fig 5.6);
@@ -506,7 +511,7 @@ func (k *Kernel) SetRoute(proc frame.ProcID, node frame.NodeID) {
 	for _, f := range moved {
 		g := f.Clone()
 		g.Dst = node
-		k.ep.SendGuaranteed(g)
+		k.ep.SendGuaranteedOwned(g)
 	}
 }
 
@@ -542,13 +547,16 @@ func (k *Kernel) maybeDispatch() {
 	if k.cpuFree > at {
 		at = k.cpuFree
 	}
-	epoch := k.bootEpoch
-	k.env.Sched.At(at, func() {
-		if k.bootEpoch != epoch || k.crashed {
-			return
+	if epoch := k.bootEpoch; k.dispatchFn == nil || k.dispatchFnEpoch != epoch {
+		k.dispatchFnEpoch = epoch
+		k.dispatchFn = func() {
+			if k.bootEpoch != epoch || k.crashed {
+				return
+			}
+			k.dispatch()
 		}
-		k.dispatch()
-	})
+	}
+	k.env.Sched.At(at, k.dispatchFn)
 }
 
 // dispatch runs one scheduling quantum: the head of the run queue executes
@@ -560,7 +568,11 @@ func (k *Kernel) dispatch() {
 		return
 	}
 	p := k.runq[0]
-	k.runq = k.runq[1:]
+	// Pop by shifting down rather than reslicing: runq[1:] bleeds capacity
+	// off the front, so the next wake's append reallocates every quantum.
+	n := copy(k.runq, k.runq[1:])
+	k.runq[n] = nil
+	k.runq = k.runq[:n]
 	p.onRunq = false
 	if p.state != psReady || p.stopped {
 		k.maybeDispatch()

@@ -126,10 +126,14 @@ func (k *Kernel) sendMessage(counter *process, from frame.ProcID, l frame.Link, 
 		if k.bootEpoch != epoch || k.crashed {
 			return
 		}
-		k.ep.SendGuaranteed(f)
+		// The frame was built fresh above and nothing here touches it after
+		// the endpoint takes it, so hand over ownership and skip the clone.
+		k.ep.SendGuaranteedOwned(f)
 	})
-	id := f.ID.String()
-	k.env.Log.AddMsg(trace.KindSend, int(k.node), id, id, "%s", f)
+	if k.env.Log.Enabled() {
+		id := f.ID.String()
+		k.env.Log.AddMsg(trace.KindSend, int(k.node), id, id, "%s", f)
+	}
 	return nil
 }
 
@@ -189,7 +193,7 @@ func (k *Kernel) enqueueFrame(f *frame.Frame) bool {
 			k.stats.MsgsForwarded++
 			g := f.Clone()
 			g.Dst = n
-			k.ep.SendGuaranteed(g)
+			k.ep.SendGuaranteedOwned(g)
 			return true
 		}
 		// Unknown here: the process may be dead, or this node just
@@ -227,7 +231,9 @@ func (k *Kernel) pushToQueue(p *process, m Msg, link *frame.Link) {
 	p.bytesSinceCk += uint64(len(m.Body))
 	k.stats.MsgsDelivered++
 	k.qDepth.Add(1)
-	k.env.Log.AddMsg(trace.KindDeliver, int(k.node), m.ID.String(), p.id.String(), "queued ch=%d", m.Channel)
+	if k.env.Log.Enabled() {
+		k.env.Log.AddMsg(trace.KindDeliver, int(k.node), m.ID.String(), p.id.String(), "queued ch=%d", m.Channel)
+	}
 	if p.state == psBlocked && p.queue.anyMatch(p.want) {
 		p.state = psReady
 		k.wake(p)
@@ -255,6 +261,16 @@ func (k *Kernel) handleUnguaranteed(f *frame.Frame) {
 		return
 	}
 	if p := k.procs[f.To]; p != nil && p.state != psCrashed && !p.recovering {
-		k.pushToQueue(p, Msg{ID: f.ID, From: f.From, Channel: f.Channel, Code: f.Code, Body: f.Body}, f.PassedLink)
+		body, link := f.Body, f.PassedLink
+		if f.Dst == frame.Broadcast {
+			// Broadcast frames are shared read-only views (lan.Station
+			// contract); the queue retains the body and link, so copy them.
+			body = append([]byte(nil), body...)
+			if link != nil {
+				l := *link
+				link = &l
+			}
+		}
+		k.pushToQueue(p, Msg{ID: f.ID, From: f.From, Channel: f.Channel, Code: f.Code, Body: body}, link)
 	}
 }

@@ -1,0 +1,68 @@
+package lan
+
+// Allocation-regression coverage for the no-fault delivery fast path. The
+// big-cluster throughput work made the common case — a clean fault plan, no
+// per-delivery gating — cost O(receivers) with zero heap allocations:
+// broadcast receivers share the sender's frame read-only, unicast hands the
+// frame over outright, and neither takes an RNG draw or a map lookup per
+// station. AllocsPerRun pins that at zero so a future "just clone it to be
+// safe" or an ungated trace call shows up as a test failure, not a silent
+// 2x allocation regression at 256 nodes.
+
+import (
+	"testing"
+
+	"publishing/internal/frame"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// nopStation discards every frame. The stock test station appends frames
+// to a slice, which allocates — useless for pinning the medium's own
+// allocation behavior.
+type nopStation struct{ got int }
+
+func (s *nopStation) Receive(f *frame.Frame) { s.got++ }
+
+func newAllocRig(stations int) (*Perfect, []*nopStation) {
+	sched := simtime.NewScheduler()
+	rng := simtime.NewRand(1)
+	log := trace.New(sched.Now)
+	log.Enable(false)
+	m := NewPerfect(DefaultConfig(), sched, rng, log)
+	recv := make([]*nopStation, stations)
+	for i := range recv {
+		recv[i] = &nopStation{}
+		m.Attach(frame.NodeID(i), recv[i])
+	}
+	return m, recv
+}
+
+// TestBroadcastDeliveryAllocs requires the clean broadcast path to deliver
+// to all 63 non-sender stations without a single heap allocation: the
+// receivers share the frame, the precomputed receiver set is reused, and
+// no fault draw happens. AllocsPerRun's warm-up call absorbs the one-time
+// receiver-cache build after Attach.
+func TestBroadcastDeliveryAllocs(t *testing.T) {
+	m, recv := newAllocRig(64)
+	f := &frame.Frame{Type: frame.Unguaranteed, Src: 0, Dst: frame.Broadcast}
+	if n := testing.AllocsPerRun(200, func() { m.deliver(0, f) }); n != 0 {
+		t.Errorf("clean broadcast delivery allocated %.1f objects per frame; want 0", n)
+	}
+	if recv[1].got == 0 || recv[0].got != 0 {
+		t.Fatalf("delivery shape wrong: recv[0]=%d (want 0), recv[1]=%d (want >0)", recv[0].got, recv[1].got)
+	}
+}
+
+// TestUnicastDeliveryAllocs pins the clean unicast path at zero
+// allocations likewise: one station lookup, one Receive, no clone.
+func TestUnicastDeliveryAllocs(t *testing.T) {
+	m, recv := newAllocRig(64)
+	f := &frame.Frame{Type: frame.Unguaranteed, Src: 0, Dst: 7}
+	if n := testing.AllocsPerRun(200, func() { m.deliver(0, f) }); n != 0 {
+		t.Errorf("clean unicast delivery allocated %.1f objects per frame; want 0", n)
+	}
+	if recv[7].got == 0 {
+		t.Fatal("unicast frame never arrived")
+	}
+}

@@ -36,7 +36,15 @@ import (
 // of each node implements it.
 type Station interface {
 	// Receive hands the station a frame that completed transmission and that
-	// the medium's semantics allow it to use. Media pass a private copy.
+	// the medium's semantics allow it to use. Ownership follows the wire
+	// addressing: a frame addressed to this station alone (f.Dst != Broadcast)
+	// is the receiver's private copy — the medium made exactly one copy at
+	// Send and this is it. A broadcast frame is a shared read-only view
+	// handed to every receiver in turn: the station must not mutate it and
+	// must copy anything it keeps beyond the call — including data reached
+	// through pointers such as Body, AckRecs, and PassedLink. This is what
+	// lets the common no-fault broadcast cost O(receivers) with zero
+	// allocations instead of a clone per receiver.
 	Receive(f *frame.Frame)
 }
 
@@ -144,6 +152,21 @@ type FaultPlan struct {
 	// linkLoss drops frames on one directed (src, dst) station pair only —
 	// a bad cable segment between two particular nodes.
 	linkLoss map[[2]frame.NodeID]float64
+	// nDown counts entries of down that are currently true, so the no-fault
+	// delivery fast path can establish "nobody is down" without a map scan.
+	nDown int
+}
+
+// deliveryClean reports whether per-receiver delivery can skip all fault
+// machinery: no node down, no partition ever configured (Heal resets it),
+// and no per-receiver probability draws armed. In that state every attached
+// station other than the sender hears every completed frame, in the same
+// order the faulted path would deliver, with no RNG consumption — so the
+// fast path below is byte-identical to the slow one in every fingerprinted
+// observable.
+func (p *FaultPlan) deliveryClean() bool {
+	return p.nDown == 0 && p.partition == nil && len(p.linkLoss) == 0 &&
+		p.ReceiverMissProb == 0 && p.DupProb == 0
 }
 
 // SetLinkLoss makes the directed link from src to dst lose frames with
@@ -173,6 +196,13 @@ func (p *FaultPlan) linkLossProb(src, dst frame.NodeID) float64 {
 func (p *FaultPlan) SetDown(id frame.NodeID, down bool) {
 	if p.down == nil {
 		p.down = make(map[frame.NodeID]bool)
+	}
+	if p.down[id] != down {
+		if down {
+			p.nDown++
+		} else {
+			p.nDown--
+		}
 	}
 	p.down[id] = down
 }
@@ -253,10 +283,59 @@ type base struct {
 	// iterates it instead of the map: per-receiver rng draws (interface miss,
 	// link loss, duplication) must happen in a fixed order or map iteration
 	// would leak nondeterminism into the fault stream.
-	order  []frame.NodeID
-	taps   []tapEntry
-	faults FaultPlan
-	stats  Stats
+	order []frame.NodeID
+	// recv caches (id, station) pairs in order's order so the per-frame
+	// broadcast loop touches one dense slice instead of a map lookup per
+	// receiver; byID is the same cache keyed by node id for unicast (node
+	// ids are small and dense — slice indexing beats the map on the hottest
+	// line in the simulator). Attach invalidates both.
+	recv     []recvEntry
+	byID     []Station
+	recvSane bool
+	taps     []tapEntry
+	faults   FaultPlan
+	stats    Stats
+}
+
+type recvEntry struct {
+	id frame.NodeID
+	s  Station
+}
+
+// refreshRecv rebuilds the delivery caches from stations/order.
+func (b *base) refreshRecv() {
+	b.recv = b.recv[:0]
+	maxID := frame.NodeID(-1)
+	for _, id := range b.order {
+		b.recv = append(b.recv, recvEntry{id: id, s: b.stations[id]})
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if n := int(maxID) + 1; cap(b.byID) < n {
+		b.byID = make([]Station, n)
+	} else {
+		b.byID = b.byID[:n]
+		for i := range b.byID {
+			b.byID[i] = nil
+		}
+	}
+	for _, e := range b.recv {
+		b.byID[e.id] = e.s
+	}
+	b.recvSane = true
+}
+
+// station resolves a unicast destination through the dense cache.
+func (b *base) station(id frame.NodeID) (Station, bool) {
+	if !b.recvSane {
+		b.refreshRecv()
+	}
+	if int(id) >= len(b.byID) || id < 0 {
+		return nil, false
+	}
+	s := b.byID[id]
+	return s, s != nil
 }
 
 type tapEntry struct {
@@ -285,6 +364,7 @@ func (b *base) Attach(id frame.NodeID, s Station) {
 		b.order[i] = id
 	}
 	b.stations[id] = s
+	b.recvSane = false
 }
 
 func (b *base) AttachTap(id frame.NodeID, t Tap) {
@@ -376,10 +456,36 @@ func (b *base) maybeCorrupt(f *frame.Frame) {
 	}
 }
 
-// deliver hands the frame to its destination station(s). withRecorderGate
+// deliver hands the frame to its destination station(s), transferring
+// ownership of f per the Station contract: the frame is the medium's
+// private copy (made at Send) and this is its last touch. withRecorderGate
 // media call it only after a positive tap verdict.
+//
+// The common case — no per-receiver faults armed — takes a precomputed
+// path: broadcast walks the cached receiver slice handing every station the
+// same shared frame (no map lookups, no RNG draws, no clones), unicast is a
+// dense-slice index plus an ownership hand-off. Both consume zero RNG and
+// bump the same counters the faulted path would, so fingerprints cannot
+// tell them apart. Any armed fault falls back to the original per-receiver
+// loop, whose draw order is part of the determinism contract.
 func (b *base) deliver(src frame.NodeID, f *frame.Frame) {
+	if !b.recvSane {
+		b.refreshRecv()
+	}
+	clean := b.faults.deliveryClean()
 	if f.Dst == frame.Broadcast {
+		if clean {
+			n := uint64(0)
+			for i := range b.recv {
+				if b.recv[i].id == src {
+					continue
+				}
+				b.recv[i].s.Receive(f)
+				n++
+			}
+			b.stats.FramesDelivered += n
+			return
+		}
 		for _, id := range b.order {
 			if id == src || !b.faults.reachable(src, id) {
 				continue
@@ -388,15 +494,25 @@ func (b *base) deliver(src frame.NodeID, f *frame.Frame) {
 		}
 		return
 	}
-	s, ok := b.stations[f.Dst]
-	if !ok || !b.faults.reachable(src, f.Dst) {
+	s, ok := b.station(f.Dst)
+	if !ok {
+		return
+	}
+	if clean {
+		b.stats.FramesDelivered++
+		s.Receive(f)
+		return
+	}
+	if !b.faults.reachable(src, f.Dst) {
 		return
 	}
 	b.deliverTo(src, f.Dst, s, f)
 }
 
-// deliverTo hands one receiver its private copy, applying the per-receiver
-// faults: interface miss, per-link loss, and injected duplication.
+// deliverTo hands one receiver its copy under armed per-receiver faults:
+// interface miss, per-link loss, and injected duplication. Each delivery is
+// a private clone so the injected duplicate cannot alias state the receiver
+// already took ownership of.
 func (b *base) deliverTo(src, dst frame.NodeID, s Station, f *frame.Frame) {
 	if b.faults.ReceiverMissProb > 0 && b.rng.Bool(b.faults.ReceiverMissProb) {
 		return

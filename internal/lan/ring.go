@@ -203,7 +203,9 @@ func (m *Ring) circulate(tx *ringTx) {
 				if gatedTx && m.dist(tx.src, id) < maxTapDist {
 					lastRead = 1
 				}
-				g := tx.f.Clone()
+				// Broadcast receivers share the ring slot's frame read-only
+				// (Station contract); no per-receiver clone.
+				g := tx.f
 				m.sched.At(at, func() { receive(s, g) })
 				delivered = true
 			}
@@ -214,7 +216,8 @@ func (m *Ring) circulate(tx *ringTx) {
 				if gatedTx && m.dist(tx.src, tx.f.Dst) < maxTapDist {
 					lastRead = 1
 				}
-				g := tx.f.Clone()
+				// Unicast: the slot's frame becomes the sole receiver's copy.
+				g := tx.f
 				m.sched.At(at, func() { receive(s, g) })
 				delivered = true
 			}

@@ -7,9 +7,35 @@ import (
 
 	"publishing/internal/demos"
 	"publishing/internal/frame"
+	"publishing/internal/gobx"
 	"publishing/internal/stablestore"
 	"publishing/internal/trace"
 )
+
+// Persisted record codecs. Every record kind the recorder writes per
+// message (stored messages, advisories, last-sent watermarks) goes through
+// a gobx codec: byte-identical to the one-shot gob encoding the database
+// format has always used, but without paying type-descriptor transmission
+// and engine compilation per record. Codecs are package-level (and
+// internally locked) so parallel sweep clusters share the warmed state.
+var (
+	msgCodec  gobx.Codec[storedMsg]
+	advCodec  gobx.Codec[advisory]
+	lastCodec gobx.Codec[uint64]
+	procCodec gobx.Codec[procMeta]
+	ckCodec   gobx.Codec[ckMeta]
+)
+
+// encWith encodes v into the recorder's reused scratch via codec c. Same
+// contract as gobEnc: the slice is valid until the next persist call.
+func encWith[T any](r *Recorder, c *gobx.Codec[T], v *T) []byte {
+	b, err := c.Encode(r.encScratch[:0], v)
+	if err != nil {
+		panic(fmt.Sprintf("recorder: gob: %v", err))
+	}
+	r.encScratch = b
+	return b
+}
 
 // Stable-storage key namespaces. Every piece of recorder state needed to
 // survive a recorder crash lands under one of these, so the database can be
@@ -61,22 +87,22 @@ func (r *Recorder) append(rec stablestore.Record) {
 }
 
 func (r *Recorder) persistMessage(e *procEntry, sm *storedMsg) {
-	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: msgKey(e.Proc), Seq: sm.ArrSeq, Data: r.gobEnc(sm)})
+	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: msgKey(e.Proc), Seq: sm.ArrSeq, Data: encWith(r, &msgCodec, sm)})
 }
 
 func (r *Recorder) persistAdvisory(e *procEntry, adv *advisory) {
-	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: advKey(e.Proc), Seq: adv.AdvSeq, Data: r.gobEnc(adv)})
+	r.append(stablestore.Record{Kind: stablestore.KindMessage, Key: advKey(e.Proc), Seq: adv.AdvSeq, Data: encWith(r, &advCodec, adv)})
 }
 
 func (r *Recorder) persistProcMeta(e *procEntry) {
 	e.Rev++
 	r.append(stablestore.Record{Kind: stablestore.KindMeta, Key: procKey(e.Proc), Seq: e.Rev,
-		Data: r.gobEnc(&procMeta{Proc: e.Proc, Spec: e.Spec, Node: e.Node})})
+		Data: encWith(r, &procCodec, &procMeta{Proc: e.Proc, Spec: e.Spec, Node: e.Node})})
 }
 
 func (r *Recorder) persistLastSent(e *procEntry) {
 	e.Rev++
-	r.append(stablestore.Record{Kind: stablestore.KindMeta, Key: lastKey(e.Proc), Seq: e.Rev, Data: r.gobEnc(e.LastSent)})
+	r.append(stablestore.Record{Kind: stablestore.KindMeta, Key: lastKey(e.Proc), Seq: e.Rev, Data: encWith(r, &lastCodec, &e.LastSent)})
 }
 
 func (r *Recorder) persistDead(e *procEntry) {
@@ -95,7 +121,7 @@ func (r *Recorder) persistCheckpoint(e *procEntry, trimmed []storedMsg) {
 	}
 	e.Rev++
 	r.append(stablestore.Record{Kind: stablestore.KindCheckpoint, Key: ckKey(e.Proc), Seq: e.Rev,
-		Data: r.gobEnc(&ckMeta{
+		Data: encWith(r, &ckCodec, &ckMeta{
 			Blob:          e.Checkpoint,
 			SendSeq:       e.CkSendSeq,
 			ReadCount:     e.CkReadCount,

@@ -20,7 +20,6 @@ package recorder
 import (
 	"bytes"
 	"encoding/gob"
-	"fmt"
 	"sort"
 
 	"publishing/internal/demos"
@@ -299,12 +298,13 @@ type Recorder struct {
 	// deliveries; the tap sees every retransmission).
 	noticeSeen genSet
 
-	// gobBuf is the reused scratch for persist* encoding. Gob needs a fresh
-	// Encoder per record (each stream carries its own type preamble, which
+	// encScratch is the reused scratch for the typed gobx codecs the
+	// persist paths encode records through (see persist.go). Each record is
+	// its own self-contained gob stream (type preamble + value, which
 	// rebuild's per-record decoder expects), but the buffer is shared:
 	// stablestore.Append copies Data, so the bytes only need to survive one
 	// call.
-	gobBuf bytes.Buffer
+	encScratch []byte
 	// smFree pools storedMsg nodes between Observe and the ack/sweep paths
 	// that retire them, so the tap's steady state stops allocating a node,
 	// body, and link per overheard frame.
@@ -753,7 +753,9 @@ func (r *Recorder) recordArrival(e *procEntry, sm *storedMsg, format string) {
 	r.stats.BytesStored += uint64(len(sm.Body))
 	r.publishLat.Observe(int64(r.sched.Now() - sm.SeenAt))
 	r.persistMessage(e, sm)
-	r.log.AddMsg(trace.KindPublish, int(r.cfg.Node), sm.ID.String(), e.Proc.String(), format, sm.ArrSeq)
+	if r.log.Enabled() {
+		r.log.AddMsg(trace.KindPublish, int(r.cfg.Node), sm.ID.String(), e.Proc.String(), format, sm.ArrSeq)
+	}
 	r.releaseStored(sm)
 }
 
@@ -1084,17 +1086,6 @@ func (r *Recorder) RequestCheckpoint(p frame.ProcID) {
 		return
 	}
 	r.sendCtl(e.Node, p, true, &demos.CtlMsg{Op: demos.OpCheckpoint}, 0, nil)
-}
-
-// gobEnc encodes v into the recorder's reused scratch buffer. The returned
-// slice is valid only until the next call — callers hand it straight to
-// stablestore.Append, which copies.
-func (r *Recorder) gobEnc(v any) []byte {
-	r.gobBuf.Reset()
-	if err := gob.NewEncoder(&r.gobBuf).Encode(v); err != nil {
-		panic(fmt.Sprintf("recorder: gob: %v", err))
-	}
-	return r.gobBuf.Bytes()
 }
 
 func gobIntoR(b []byte, v any) error {

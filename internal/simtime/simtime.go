@@ -110,7 +110,7 @@ func (e Event) At() Time {
 type Scheduler struct {
 	now    Time
 	seq    uint64
-	events []*eventNode // binary min-heap on (at, seq)
+	events []*eventNode // 4-ary min-heap on (at, seq)
 	free   []*eventNode // recycled nodes, reused by At/After
 	fired  uint64
 	halted bool
@@ -257,38 +257,40 @@ func (s *Scheduler) NextAt() Time {
 	return s.events[0].at
 }
 
-// --- binary min-heap on (at, seq) -------------------------------------------
+// --- 4-ary min-heap on (at, seq) --------------------------------------------
 //
 // Hand-rolled rather than container/heap so pops and removals stay free of
 // interface boxing and so the scheduler controls node lifetimes exactly.
+//
+// The heap is 4-ary rather than binary: half the depth means half the
+// sift-down levels per pop, and the four children sit in one cache line of
+// the pointer slice. Sifting moves a single hole instead of swapping, so
+// each level costs one write, not three. Because (at, seq) is a strict
+// total order — seq never repeats — every valid heap pops the identical
+// event sequence, so the shape change cannot perturb determinism.
 
-func (s *Scheduler) less(i, j int) bool {
-	a, b := s.events[i], s.events[j]
+const heapArity = 4
+
+func lessNode(a, b *eventNode) bool {
 	if a.at != b.at {
 		return a.at < b.at
 	}
 	return a.seq < b.seq
 }
 
-func (s *Scheduler) swap(i, j int) {
-	s.events[i], s.events[j] = s.events[j], s.events[i]
-	s.events[i].idx, s.events[j].idx = i, j
-}
-
 func (s *Scheduler) push(n *eventNode) {
-	n.idx = len(s.events)
 	s.events = append(s.events, n)
-	s.up(n.idx)
+	s.up(len(s.events)-1, n)
 }
 
 func (s *Scheduler) popMin() *eventNode {
 	n := s.events[0]
 	last := len(s.events) - 1
-	s.swap(0, last)
+	moved := s.events[last]
 	s.events[last] = nil
 	s.events = s.events[:last]
 	if last > 0 {
-		s.down(0)
+		s.down(0, moved)
 	}
 	n.idx = -1
 	return n
@@ -297,48 +299,61 @@ func (s *Scheduler) popMin() *eventNode {
 func (s *Scheduler) removeAt(i int) {
 	n := s.events[i]
 	last := len(s.events) - 1
-	if i != last {
-		s.swap(i, last)
-	}
+	moved := s.events[last]
 	s.events[last] = nil
 	s.events = s.events[:last]
 	if i < last {
-		if !s.down(i) {
-			s.up(i)
+		if !s.down(i, moved) {
+			s.up(i, moved)
 		}
 	}
 	n.idx = -1
 }
 
-func (s *Scheduler) up(i int) {
+// up sifts node n toward the root, starting from the hole at index i.
+func (s *Scheduler) up(i int, n *eventNode) {
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
+		parent := (i - 1) / heapArity
+		p := s.events[parent]
+		if !lessNode(n, p) {
 			break
 		}
-		s.swap(i, parent)
+		s.events[i] = p
+		p.idx = i
 		i = parent
 	}
+	s.events[i] = n
+	n.idx = i
 }
 
-// down sifts index i toward the leaves, reporting whether it moved.
-func (s *Scheduler) down(i int) bool {
+// down sifts node n toward the leaves, starting from the hole at index i,
+// reporting whether it moved.
+func (s *Scheduler) down(i int, n *eventNode) bool {
 	start := i
-	n := len(s.events)
+	size := len(s.events)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := heapArity*i + 1
+		if first >= size {
 			break
 		}
-		least := left
-		if right := left + 1; right < n && s.less(right, left) {
-			least = right
+		least, ln := first, s.events[first]
+		end := first + heapArity
+		if end > size {
+			end = size
 		}
-		if !s.less(least, i) {
+		for c := first + 1; c < end; c++ {
+			if lessNode(s.events[c], ln) {
+				least, ln = c, s.events[c]
+			}
+		}
+		if !lessNode(ln, n) {
 			break
 		}
-		s.swap(i, least)
+		s.events[i] = ln
+		ln.idx = i
 		i = least
 	}
+	s.events[i] = n
+	n.idx = i
 	return i > start
 }

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math/bits"
 	"os"
 	"path/filepath"
 	"sort"
@@ -58,6 +59,9 @@ type segment struct {
 	dead   []uint64 // bitmap over record ordinals
 	deadN  int      // records marked dead
 	sealed bool
+	// manifestStale is set when a sealed (file-backed) segment gains dead
+	// marks after its tail was written; Close refreshes such manifests.
+	manifestStale bool
 }
 
 func (g *segment) count() int { return len(g.recOff) - 1 }
@@ -265,10 +269,15 @@ func (s *Segmented) deadLocked(key string, seq uint64) bool {
 }
 
 // markDeadLocked marks one record dead, maintaining the liveness counter
-// and byte accounting.
+// and byte accounting. On an already-sealed file-backed segment the on-disk
+// manifest no longer matches; Close refreshes it so the next open still
+// skips this record.
 func (s *Segmented) markDeadLocked(g *segment, key string, ord uint32) {
 	if !g.markDead(ord) {
 		return
+	}
+	if g.sealed && s.dir != "" {
+		g.manifestStale = true
 	}
 	payload := uint64(g.recSize(ord) - recHeaderLen - len(key))
 	if s.stats.BytesLive >= payload {
@@ -774,7 +783,10 @@ func (s *Segmented) SetBatchObserver(fn func(int)) {
 }
 
 // Close group-commits pending records and seals the active segment, so a
-// file-backed store reopens from sealed segments only.
+// file-backed store reopens from sealed segments only. Sealed segments that
+// gained garbage marks since their tail reached disk get their liveness
+// manifest rewritten, so a clean shutdown hands the next open a fully
+// current dead bitmap.
 func (s *Segmented) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -784,7 +796,27 @@ func (s *Segmented) Close() error {
 	if err := s.sealLocked(); err != nil {
 		return err
 	}
+	for _, g := range s.segs {
+		if !g.manifestStale {
+			continue
+		}
+		if err := s.rewriteSegmentFileLocked(g); err != nil {
+			return err
+		}
+		g.manifestStale = false
+	}
 	return s.closeActiveFileLocked()
+}
+
+// rewriteSegmentFileLocked atomically replaces g's file with its current
+// in-memory image (records plus a fresh tail).
+func (s *Segmented) rewriteSegmentFileLocked(g *segment) error {
+	body := append(append([]byte(nil), g.data...), encodeSegmentTail(g)...)
+	tmp := s.segPath(g.id) + ".rw"
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.segPath(g.id))
 }
 
 func (s *Segmented) segPath(id uint64) string {
@@ -798,19 +830,30 @@ func (s *Segmented) segPath(id uint64) string {
 //	records | index | footer
 //
 // where records are back-to-back encoded Records (the page codec without
-// padding), the index is the recOff table plus per-key (seq, ord) runs, and
-// the 40-byte footer carries lengths, counts, CRCs over both regions, and a
-// magic. A file without a valid footer (torn write: the process died
-// mid-commit) is recovered by scanning records from the start and keeping
-// the longest valid prefix — the classic log-recovery discipline.
+// padding), the index is the recOff table, per-key (seq, ord) runs, and a
+// liveness manifest (live count + dead bitmap), and the 40-byte footer
+// carries lengths, counts, CRCs over both regions, and a magic. A file
+// without a valid footer (torn write: the process died mid-commit) is
+// recovered by scanning records from the start and keeping the longest
+// valid prefix — the classic log-recovery discipline.
+//
+// The manifest makes garbage marks durable at seal/Close time: OpenSegmented
+// decodes it and skips dead records outright — no per-record decode, no
+// index entries, no re-encoded bytes — which is where the segmented engine's
+// reopen penalty over the paged engine went (see BENCH_store.json). A crash
+// before Close leaves sealed segments' manifests stale (missing marks made
+// after seal); that only resurrects records the recorder's rebuild re-drops
+// through checkpoint metadata, exactly as all garbage marks behaved before
+// the manifest existed.
 
 const (
 	segMagic      = 0x5055425345473031 // "PUBSEG01"
-	segVersion    = 1
+	segVersion    = 2                  // v2 added the liveness manifest to the index block
 	segFooterSize = 8 + 8 + 4 + 4 + 4 + 4 + 8
 )
 
-// encodeSegmentTail serializes g's index block and footer.
+// encodeSegmentTail serializes g's index block (offsets, key runs, liveness
+// manifest) and footer.
 func encodeSegmentTail(g *segment) []byte {
 	var idx []byte
 	var tmp [8]byte
@@ -838,6 +881,21 @@ func encodeSegmentTail(g *segment) []byte {
 			binary.BigEndian.PutUint32(tmp[:4], kr.ords[i])
 			idx = append(idx, tmp[:4]...)
 		}
+	}
+	// Liveness manifest: live count, then the dead bitmap padded (or
+	// truncated — markDead grows it lazily) to exactly ceil(count/64) words.
+	words := (g.count() + 63) / 64
+	binary.BigEndian.PutUint32(tmp[:4], uint32(g.live()))
+	idx = append(idx, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], uint32(words))
+	idx = append(idx, tmp[:4]...)
+	for w := 0; w < words; w++ {
+		var v uint64
+		if w < len(g.dead) {
+			v = g.dead[w]
+		}
+		binary.BigEndian.PutUint64(tmp[:8], v)
+		idx = append(idx, tmp[:8]...)
 	}
 	foot := make([]byte, segFooterSize)
 	binary.BigEndian.PutUint64(foot[0:8], uint64(len(g.data)))
@@ -884,6 +942,149 @@ func decodeSegment(b []byte) (recs []Record, sealed bool, err error) {
 	return scanRecords(b), false, nil
 }
 
+// segIndex is a sealed segment file's parsed index block: everything
+// OpenSegmented needs to rebuild the in-memory segment without decoding a
+// single record.
+type segIndex struct {
+	data   []byte   // record region (aliases the file image)
+	recOff []uint32 // count+1 offsets
+	ordKey []string // per-ordinal key, from the runs
+	ordSeq []uint64 // per-ordinal seq, from the runs
+	dead   []uint64 // liveness manifest bitmap
+	live   int      // records not marked dead at seal/Close time
+}
+
+func (x *segIndex) isDead(ord int) bool {
+	return x.dead[ord/64]&(1<<(ord%64)) != 0
+}
+
+// decodeSegmentIndex parses b's index block if b is a well-formed sealed v2
+// image. It is stricter than decodeSegment: beyond both CRCs it requires a
+// monotone offset table covering the data region exactly, every ordinal
+// indexed by exactly one key run, and a manifest that agrees with its own
+// bitmap — anything less returns nil and the caller takes the record-scan
+// path. CRC-clean-but-inconsistent images only arise from corruption the
+// CRC missed or an adversarial writer; falling back is always safe because
+// the scan path re-derives everything from the records themselves.
+func decodeSegmentIndex(b []byte) *segIndex {
+	if len(b) < segFooterSize {
+		return nil
+	}
+	foot := b[len(b)-segFooterSize:]
+	if binary.BigEndian.Uint64(foot[32:40]) != segMagic ||
+		binary.BigEndian.Uint32(foot[28:32]) != segVersion {
+		return nil
+	}
+	dataLen := binary.BigEndian.Uint64(foot[0:8])
+	idxLen := binary.BigEndian.Uint64(foot[8:16])
+	count := int(binary.BigEndian.Uint32(foot[16:20]))
+	if dataLen+idxLen+segFooterSize != uint64(len(b)) {
+		return nil
+	}
+	data := b[:dataLen]
+	idx := b[dataLen : dataLen+idxLen]
+	if crc32.ChecksumIEEE(data) != binary.BigEndian.Uint32(foot[20:24]) ||
+		crc32.ChecksumIEEE(idx) != binary.BigEndian.Uint32(foot[24:28]) {
+		return nil
+	}
+
+	// Cursor-style reads; every length is validated before use.
+	u16 := func() (uint16, bool) {
+		if len(idx) < 2 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint16(idx)
+		idx = idx[2:]
+		return v, true
+	}
+	u32 := func() (uint32, bool) {
+		if len(idx) < 4 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint32(idx)
+		idx = idx[4:]
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if len(idx) < 8 {
+			return 0, false
+		}
+		v := binary.BigEndian.Uint64(idx)
+		idx = idx[8:]
+		return v, true
+	}
+
+	x := &segIndex{data: data, recOff: make([]uint32, 0, count+1)}
+	prev := uint32(0)
+	for i := 0; i <= count; i++ {
+		off, ok := u32()
+		if !ok || off < prev || uint64(off) > dataLen {
+			return nil
+		}
+		x.recOff = append(x.recOff, off)
+		prev = off
+	}
+	if x.recOff[0] != 0 || uint64(x.recOff[count]) != dataLen {
+		return nil
+	}
+
+	nKeys, ok := u32()
+	if !ok {
+		return nil
+	}
+	x.ordKey = make([]string, count)
+	x.ordSeq = make([]uint64, count)
+	seen := make([]bool, count)
+	for k := uint32(0); k < nKeys; k++ {
+		klen, ok := u16()
+		if !ok || len(idx) < int(klen) {
+			return nil
+		}
+		key := string(idx[:klen])
+		idx = idx[klen:]
+		runLen, ok := u32()
+		if !ok {
+			return nil
+		}
+		for i := uint32(0); i < runLen; i++ {
+			seq, ok1 := u64()
+			ord, ok2 := u32()
+			if !ok1 || !ok2 || int(ord) >= count || seen[ord] {
+				return nil
+			}
+			seen[ord] = true
+			x.ordKey[ord] = key
+			x.ordSeq[ord] = seq
+		}
+	}
+	for _, s := range seen {
+		if !s {
+			return nil
+		}
+	}
+
+	liveN, ok1 := u32()
+	words, ok2 := u32()
+	if !ok1 || !ok2 || int(words) != (count+63)/64 || len(idx) != int(words)*8 {
+		return nil
+	}
+	x.dead = make([]uint64, words)
+	deadN := 0
+	for w := range x.dead {
+		v, _ := u64()
+		x.dead[w] = v
+		deadN += bits.OnesCount64(v)
+	}
+	if deadN != count-int(liveN) {
+		return nil
+	}
+	if r := count % 64; r != 0 && x.dead[words-1]>>r != 0 {
+		return nil // dead bits past the last ordinal
+	}
+	x.live = int(liveN)
+	return x
+}
+
 // scanRecords keeps the longest decodable record prefix of b.
 func scanRecords(b []byte) []Record {
 	var out []Record
@@ -898,13 +1099,30 @@ func scanRecords(b []byte) []Record {
 	return out
 }
 
+// openMetaLocked applies the meta revision-shadowing rule while loading
+// records at open: the newest revision per key survives, every other one is
+// marked dead (possibly in an earlier segment loaded minutes ago).
+func (s *Segmented) openMetaLocked(key string, seq uint64, g *segment, ord uint32) {
+	switch mt := s.metaSeen[key]; {
+	case mt == nil:
+		s.metaSeen[key] = &metaTrail{seq: seq, seg: g, ord: ord}
+	case seq >= mt.seq:
+		s.markDeadLocked(mt.seg, key, mt.ord)
+		mt.seq, mt.seg, mt.ord = seq, g, ord
+	default:
+		s.markDeadLocked(g, key, ord)
+	}
+}
+
 // OpenSegmented opens (or creates) a file-backed segmented store rooted at
-// dir. Sealed segments load through their self-describing index; a torn
-// segment (the active one at crash time) is recovered to its longest valid
-// record prefix, truncated, and re-sealed — §4.5's "rebuild the data base
-// from the disk" applied to the log itself. Like the paged engine's Open,
-// garbage marks are volatile: records invalidated before the crash are
-// re-dropped by the recorder's rebuild through checkpoint metadata.
+// dir. Sealed segments load through their self-describing index, and the
+// liveness manifest drops records invalidated before the last seal/Close
+// without decoding them; a torn segment (the active one at crash time) is
+// recovered to its longest valid record prefix, truncated, and re-sealed —
+// §4.5's "rebuild the data base from the disk" applied to the log itself.
+// Garbage marks made after a segment's manifest last reached disk are
+// volatile, exactly like the paged engine's Open: such records resurrect
+// and are re-dropped by the recorder's rebuild through checkpoint metadata.
 func OpenSegmented(dir string, segBytes int) (*Segmented, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -925,43 +1143,70 @@ func OpenSegmented(dir string, segBytes int) (*Segmented, error) {
 		if _, err := fmt.Sscanf(filepath.Base(name), "seg-%d.seg", &id); err != nil {
 			continue
 		}
-		recs, sealed, _ := decodeSegment(b)
-		if len(recs) == 0 {
-			os.Remove(name)
-			continue
-		}
-		g := newSegment(id, 0)
-		for _, r := range recs {
-			r := r
-			s.stats.BytesLive += uint64(len(r.Data))
-			ord := uint32(g.count())
-			g.data = appendRecord(g.data, &r)
-			g.recOff = append(g.recOff, uint32(len(g.data)))
-			kr := g.run(r.Key)
-			kr.seqs = append(kr.seqs, r.Seq)
-			kr.ords = append(kr.ords, ord)
-			if r.Seq < kr.minSeq {
-				kr.minSeq = r.Seq
+		var g *segment
+		if x := decodeSegmentIndex(b); x != nil {
+			// Fast path: rebuild from the index alone. Live records' bytes
+			// are copied wholesale (they were encoded by this engine, so the
+			// raw bytes ARE the canonical encoding); dead records cost one
+			// bitmap test each — no decode, no index entry, no key alloc.
+			if x.live == 0 {
+				os.Remove(name)
+				continue
 			}
-			if r.Seq > kr.maxSeq {
-				kr.maxSeq = r.Seq
-			}
-			s.indexSegLocked(r.Key, g)
-			if r.Kind == KindMeta {
-				switch mt := s.metaSeen[r.Key]; {
-				case mt == nil:
-					s.metaSeen[r.Key] = &metaTrail{seq: r.Seq, seg: g, ord: ord}
-				case r.Seq >= mt.seq:
-					s.markDeadLocked(mt.seg, r.Key, mt.ord)
-					mt.seq, mt.seg, mt.ord = r.Seq, g, ord
-				default:
-					s.markDeadLocked(g, r.Key, ord)
+			g = newSegment(id, 0)
+			for ord := 0; ord < len(x.ordKey); ord++ {
+				if x.isDead(ord) {
+					continue
+				}
+				raw := x.data[x.recOff[ord]:x.recOff[ord+1]]
+				key, seq := x.ordKey[ord], x.ordSeq[ord]
+				s.stats.BytesLive += uint64(len(raw) - recHeaderLen - len(key))
+				nord := uint32(g.count())
+				g.data = append(g.data, raw...)
+				g.recOff = append(g.recOff, uint32(len(g.data)))
+				kr := g.run(key)
+				kr.seqs = append(kr.seqs, seq)
+				kr.ords = append(kr.ords, nord)
+				if seq < kr.minSeq {
+					kr.minSeq = seq
+				}
+				if seq > kr.maxSeq {
+					kr.maxSeq = seq
+				}
+				s.indexSegLocked(key, g)
+				if RecordKind(raw[0]) == KindMeta {
+					s.openMetaLocked(key, seq, g, nord)
 				}
 			}
-		}
-		if !sealed {
+		} else {
+			recs, _, _ := decodeSegment(b)
+			if len(recs) == 0 {
+				os.Remove(name)
+				continue
+			}
+			g = newSegment(id, 0)
+			for _, r := range recs {
+				r := r
+				s.stats.BytesLive += uint64(len(r.Data))
+				ord := uint32(g.count())
+				g.data = appendRecord(g.data, &r)
+				g.recOff = append(g.recOff, uint32(len(g.data)))
+				kr := g.run(r.Key)
+				kr.seqs = append(kr.seqs, r.Seq)
+				kr.ords = append(kr.ords, ord)
+				if r.Seq < kr.minSeq {
+					kr.minSeq = r.Seq
+				}
+				if r.Seq > kr.maxSeq {
+					kr.maxSeq = r.Seq
+				}
+				s.indexSegLocked(r.Key, g)
+				if r.Kind == KindMeta {
+					s.openMetaLocked(r.Key, r.Seq, g, ord)
+				}
+			}
 			// Torn tail: truncate the file to the valid prefix and re-seal
-			// it so the next open is footer-fast.
+			// it so the next open is index-fast.
 			body := append(append([]byte(nil), g.data...), encodeSegmentTail(g)...)
 			if err := os.WriteFile(name, body, 0o644); err != nil {
 				return nil, err

@@ -573,3 +573,88 @@ func TestSegmentPagesFootprint(t *testing.T) {
 		t.Fatalf("footprint %d, want several tiny segments", s.Pages())
 	}
 }
+
+// The liveness manifest: records invalidated before Close are skipped at
+// reopen (never decoded, never indexed), while marks made after a sealed
+// segment's tail reached disk — without a clean Close to refresh the
+// manifest — stay volatile and resurrect, to be re-dropped by the
+// recorder's rebuild. Meta shadowing marks must survive the trip too.
+func TestSegmentManifestReopenSkipsDead(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegmented(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if _, err := s.Append(rec("k", uint64(i), fmt.Sprintf("v%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Two meta revisions: reopen must keep only the newer.
+	for _, q := range []uint64{1, 2} {
+		if _, err := s.Append(Record{Kind: KindMeta, Key: "meta:x", Seq: q, Data: []byte{byte(q)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Marks before Close: both the born-dead and the sealed-segment
+	// (manifest-refresh) variants land in the on-disk bitmaps.
+	s.Invalidate("k", 9)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenSegmented(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := re.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for _, r := range recs {
+		if r.Kind == KindMessage && r.Seq <= 9 {
+			t.Fatalf("reopen resurrected invalidated record %+v", r)
+		}
+		if r.Kind == KindMeta {
+			if r.Seq != 2 {
+				t.Fatalf("reopen kept shadowed meta revision %d", r.Seq)
+			}
+			keys = append(keys, r.Key)
+		}
+	}
+	if want := 40 - 10 + 1; len(recs) != want {
+		t.Fatalf("reopen loaded %d records, want %d", len(recs), want)
+	}
+	if len(keys) != 1 {
+		t.Fatalf("reopen kept %d meta revisions, want 1", len(keys))
+	}
+
+	// Marks after the manifest reached disk, with no Close before the
+	// "crash": stale manifest, records resurrect.
+	re.Invalidate("k", 19)
+	if err := re.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: reopen the directory as-is.
+	re2, err := OpenSegmented(dir, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs2, err := re2.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range recs2 {
+		if r.Kind == KindMessage && r.Seq >= 10 && r.Seq <= 19 {
+			n++
+		}
+	}
+	if n != 10 {
+		t.Fatalf("stale-manifest reopen kept %d of the 10 late-invalidated records", n)
+	}
+	if err := re2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

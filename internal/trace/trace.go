@@ -146,6 +146,11 @@ func (l *Log) SetDetailed(on bool) {
 // Detailed reports whether fine-grained per-message events are wanted.
 func (l *Log) Detailed() bool { return l != nil && l.detailed }
 
+// Enabled reports whether the log is recording at all. Hot paths that
+// pre-format arguments (message ids, frame summaries) consult it so a
+// disabled trace costs a nil check and a branch, not a fmt call.
+func (l *Log) Enabled() bool { return l != nil && l.enabled }
+
 // SetFlightRecorder bounds the log to the most recent n events (n <= 0
 // removes the bound). If more than n events are already recorded, only the
 // newest n survive.

@@ -48,6 +48,10 @@ type Config struct {
 	// "many times greater than the time for a message to follow the longest
 	// path through the network".
 	DupCacheSize int
+	// Peers, when > 0, hints how many distinct node ids this endpoint will
+	// talk to, pre-sizing the per-destination tables so cluster bringup does
+	// not pay growth reallocations on every endpoint.
+	Peers int
 	// DisableDupSuppression turns the duplicate-detection guards off, so a
 	// duplicated or retransmitted frame is delivered upward again. Negative
 	// testing only: the chaos harness uses it to prove its exactly-once
@@ -184,15 +188,15 @@ type Endpoint struct {
 	// perDest counts outstanding transmission units per destination
 	// (window > 1). Without coalescing every message is its own unit, so
 	// this is the thesis per-message count.
-	perDest map[frame.NodeID]int
+	perDest destTable[int]
 	// openUnits is the global unit count (thesis Window == 1 discipline).
 	openUnits int
 	// form holds the per-destination coalescing buffer being filled
 	// (FlushDelay > 0 only).
-	form map[frame.NodeID]*txUnit
+	form destTable[*txUnit]
 
 	// xseq numbers outgoing guaranteed frames per destination.
-	xseq map[frame.NodeID]uint64
+	xseq destTable[uint64]
 
 	dup *dupCache
 
@@ -200,12 +204,12 @@ type Endpoint struct {
 	held map[frame.MsgID]*heldFrame
 
 	// rx holds per-sender in-order reassembly state (windowing extension).
-	rx map[frame.NodeID]*rxStream
+	rx destTable[*rxStream]
 
 	// ackPend accumulates delayed acknowledgements per peer (AckDelay > 0).
-	ackPend map[frame.NodeID]*ackPending
+	ackPend destTable[*ackPending]
 	// rto holds the per-destination adaptive retransmission state.
-	rto map[frame.NodeID]*rtoState
+	rto destTable[*rtoState]
 
 	// recScratch and idScratch are decode buffers reused across receives.
 	recScratch []frame.BundleRec
@@ -313,14 +317,16 @@ func New(node frame.NodeID, med lan.Medium, sched *simtime.Scheduler, log *trace
 		log:      log,
 		cfg:      cfg,
 		inflight: make(map[frame.MsgID]*flight),
-		perDest:  make(map[frame.NodeID]int),
-		form:     make(map[frame.NodeID]*txUnit),
-		xseq:     make(map[frame.NodeID]uint64),
 		dup:      newDupCache(cfg.DupCacheSize),
 		held:     make(map[frame.MsgID]*heldFrame),
-		rx:       make(map[frame.NodeID]*rxStream),
-		ackPend:  make(map[frame.NodeID]*ackPending),
-		rto:      make(map[frame.NodeID]*rtoState),
+	}
+	if n := cfg.Peers; n > 0 {
+		e.perDest.presize(n)
+		e.form.presize(n)
+		e.xseq.presize(n)
+		e.rx.presize(n)
+		e.ackPend.presize(n)
+		e.rto.presize(n)
 	}
 	if cfg.Metrics != nil {
 		e.ackRTT = cfg.Metrics.Histogram(int(node), "transport", "ack_rtt_ns")
@@ -367,37 +373,48 @@ func (e *Endpoint) Reset() {
 	for _, h := range e.held {
 		e.sched.Cancel(h.timer)
 	}
-	for _, u := range e.form {
-		e.sched.Cancel(u.timer)
+	for _, u := range e.form.v {
+		if u != nil {
+			e.sched.Cancel(u.timer)
+		}
 	}
-	for _, p := range e.ackPend {
-		if p.timerSet {
+	for _, p := range e.ackPend.v {
+		if p != nil && p.timerSet {
 			e.sched.Cancel(p.timer)
 		}
 	}
 	e.sendq = nil
 	e.inflight = make(map[frame.MsgID]*flight)
-	e.perDest = make(map[frame.NodeID]int)
+	e.perDest.reset()
 	e.openUnits = 0
-	e.form = make(map[frame.NodeID]*txUnit)
-	e.xseq = make(map[frame.NodeID]uint64)
+	e.form.reset()
+	e.xseq.reset()
 	e.dup = newDupCache(e.cfg.DupCacheSize)
 	e.held = make(map[frame.MsgID]*heldFrame)
-	e.rx = make(map[frame.NodeID]*rxStream)
-	e.ackPend = make(map[frame.NodeID]*ackPending)
-	e.rto = make(map[frame.NodeID]*rtoState)
+	e.rx.reset()
+	e.ackPend.reset()
+	e.rto.reset()
 }
 
 // SendGuaranteed queues a guaranteed frame for reliable delivery. The frame
 // must carry a unique ID and a concrete destination node.
 func (e *Endpoint) SendGuaranteed(f *frame.Frame) {
+	e.SendGuaranteedOwned(f.Clone())
+}
+
+// SendGuaranteedOwned is SendGuaranteed for callers handing over ownership:
+// the endpoint retains f for retransmission and mutates it (type/src stamps,
+// transient piggyback blocks), so the caller must not touch f — or anything
+// it aliases — after the call. The kernel's send path builds a fresh frame
+// per message, and cloning it again here was one of the two largest
+// allocation sites in the cluster profile.
+func (e *Endpoint) SendGuaranteedOwned(f *frame.Frame) {
 	if f.ID.IsNil() {
 		panic("transport: guaranteed frame without message id")
 	}
 	if f.Dst == frame.Broadcast {
 		panic("transport: guaranteed frames must be addressed to one node")
 	}
-	f = f.Clone()
 	f.Type = frame.Guaranteed
 	f.Src = e.node
 	e.stats.GuaranteedSent++
@@ -416,7 +433,7 @@ func (e *Endpoint) SendUnguaranteed(f *frame.Frame) {
 	f.Src = e.node
 	e.stats.UnguaranteedSent++
 	if e.cfg.FlushDelay > 0 && f.Dst != frame.Broadcast {
-		if u := e.form[f.Dst]; u != nil && !u.flushed && !u.closed {
+		if u := e.form.get(f.Dst); u != nil && !u.flushed && !u.closed {
 			if n := bundleRecLen(f); u.bytes+n <= bundleBudget {
 				u.riders = append(u.riders, f)
 				u.bytes += n
@@ -458,7 +475,7 @@ func (e *Endpoint) pump() {
 	for len(e.sendq) > 0 {
 		f := e.sendq[0]
 		if e.cfg.FlushDelay > 0 {
-			if u := e.form[f.Dst]; u != nil && !u.flushed && !u.closed {
+			if u := e.form.get(f.Dst); u != nil && !u.flushed && !u.closed {
 				if n := bundleRecLen(f); u.bytes+n <= bundleBudget {
 					e.sendq = e.sendq[1:]
 					e.joinUnit(u, f, n)
@@ -475,7 +492,7 @@ func (e *Endpoint) pump() {
 				return
 			}
 		} else {
-			if e.perDest[f.Dst] >= e.cfg.Window {
+			if e.perDest.get(f.Dst) >= e.cfg.Window {
 				// Head-of-line blocked per destination; strict FIFO keeps
 				// cross-destination order too, which publishing's read-order
 				// accounting relies on.
@@ -494,7 +511,7 @@ func (e *Endpoint) pump() {
 			continue
 		}
 		fl := e.admit(f, nil)
-		e.perDest[f.Dst]++
+		e.perDest.set(f.Dst, e.perDest.get(f.Dst)+1)
 		e.transmit(fl)
 	}
 }
@@ -510,8 +527,8 @@ func (e *Endpoint) openUnitCount() int {
 
 // admit assigns the next stream sequence and registers the flight.
 func (e *Endpoint) admit(f *frame.Frame, u *txUnit) *flight {
-	seq := e.xseq[f.Dst]
-	e.xseq[f.Dst] = seq + 1
+	seq := e.xseq.get(f.Dst)
+	e.xseq.set(f.Dst, seq+1)
 	f.XSeq = uint64(e.epoch&0xffff)<<48 | (seq & xseqSeqMask)
 	fl := &flight{f: f, unit: u}
 	e.inflight[f.ID] = fl
@@ -535,8 +552,8 @@ func bundleRecLen(f *frame.Frame) int {
 // arms the flush timer.
 func (e *Endpoint) openUnit(f *frame.Frame) *txUnit {
 	u := &txUnit{dst: f.Dst, bytes: frame.BundleHdrLen}
-	e.form[f.Dst] = u
-	e.perDest[f.Dst]++
+	e.form.set(f.Dst, u)
+	e.perDest.set(f.Dst, e.perDest.get(f.Dst)+1)
 	e.openUnits++
 	e.joinUnit(u, f, bundleRecLen(f))
 	epoch := e.epoch
@@ -571,8 +588,8 @@ func (e *Endpoint) unitMemberDone(u *txUnit) {
 	} else {
 		e.closeUnit(u)
 	}
-	if e.perDest[u.dst] > 0 {
-		e.perDest[u.dst]--
+	if e.perDest.get(u.dst) > 0 {
+		e.perDest.set(u.dst, e.perDest.get(u.dst)-1)
 	}
 	if e.openUnits > 0 {
 		e.openUnits--
@@ -582,8 +599,8 @@ func (e *Endpoint) unitMemberDone(u *txUnit) {
 // closeUnit detaches a unit from the forming slot and cancels its timer.
 func (e *Endpoint) closeUnit(u *txUnit) {
 	u.closed = true
-	if e.form[u.dst] == u {
-		delete(e.form, u.dst)
+	if e.form.get(u.dst) == u {
+		e.form.set(u.dst, nil)
 	}
 	if !u.flushed {
 		u.flushed = true
@@ -600,8 +617,8 @@ func (e *Endpoint) flushUnit(u *txUnit) {
 	}
 	u.flushed = true
 	e.sched.Cancel(u.timer)
-	if e.form[u.dst] == u {
-		delete(e.form, u.dst)
+	if e.form.get(u.dst) == u {
+		e.form.set(u.dst, nil)
 	}
 	live := u.recs[:0]
 	for _, fl := range u.recs {
@@ -697,7 +714,7 @@ func (e *Endpoint) rtoDelay(fl *flight) simtime.Time {
 		return e.cfg.RetransmitInterval
 	}
 	d := e.cfg.RetransmitInterval
-	if st := e.rto[fl.f.Dst]; st != nil && st.rto > 0 {
+	if st := e.rto.get(fl.f.Dst); st != nil && st.rto > 0 {
 		d = st.rto
 	}
 	if d > e.cfg.MaxRTO {
@@ -721,10 +738,10 @@ func (e *Endpoint) observeRTT(fl *flight) {
 	if !e.cfg.AdaptiveRTO {
 		return
 	}
-	st := e.rto[fl.f.Dst]
+	st := e.rto.get(fl.f.Dst)
 	if st == nil {
 		st = &rtoState{}
-		e.rto[fl.f.Dst] = st
+		e.rto.set(fl.f.Dst, st)
 	}
 	if !st.valid {
 		st.srtt = r
@@ -790,10 +807,10 @@ func (e *Endpoint) retransmit(fl *flight) {
 // without persistence a timeout below the true round trip would fire
 // spuriously again for every subsequent message.
 func (e *Endpoint) backoffRTO(dst frame.NodeID) {
-	st := e.rto[dst]
+	st := e.rto.get(dst)
 	if st == nil {
 		st = &rtoState{}
-		e.rto[dst] = st
+		e.rto.set(dst, st)
 	}
 	if st.rto <= 0 {
 		st.rto = e.cfg.RetransmitInterval
@@ -818,8 +835,8 @@ func (e *Endpoint) finish(f *frame.Frame) {
 	delete(e.inflight, f.ID)
 	if fl.unit != nil {
 		e.unitMemberDone(fl.unit)
-	} else if e.perDest[f.Dst] > 0 {
-		e.perDest[f.Dst]--
+	} else if e.perDest.get(f.Dst) > 0 {
+		e.perDest.set(f.Dst, e.perDest.get(f.Dst)-1)
 	}
 	e.pump()
 }
@@ -956,6 +973,12 @@ func (e *Endpoint) handleGuaranteed(f *frame.Frame) {
 	if f.Dst != e.node && f.Dst != frame.Broadcast {
 		return
 	}
+	if f.Dst == frame.Broadcast {
+		// A broadcast frame is a shared read-only view (lan.Station
+		// contract) and this path retains frames — in the recorder-ack hold
+		// map and the reorder buffer — so take a private copy up front.
+		f = f.Clone()
+	}
 	if e.cfg.NeedRecorderAck {
 		if _, dup := e.held[f.ID]; dup {
 			return // already holding a copy
@@ -1071,12 +1094,14 @@ func (e *Endpoint) accept(f *frame.Frame) {
 // discarding state from a previous epoch (the sender rebooted and restarted
 // its sequence space).
 func (e *Endpoint) stream(src frame.NodeID, epoch uint16) *rxStream {
-	st, ok := e.rx[src]
-	if ok && st.epoch == epoch {
+	st := e.rx.get(src)
+	if st != nil && st.epoch == epoch {
 		return st
 	}
-	st = &rxStream{epoch: epoch, buf: make(map[uint64]*frame.Frame)}
-	e.rx[src] = st
+	// buf is allocated lazily on the first out-of-order or refused frame;
+	// an in-order stream never needs it.
+	st = &rxStream{epoch: epoch}
+	e.rx.set(src, st)
 	return st
 }
 
@@ -1096,6 +1121,9 @@ func (e *Endpoint) advance(st *rxStream, f *frame.Frame) {
 		if !e.deliverUp(f) {
 			// Refused: remember the frame so a retransmission (or a later
 			// poke) can retry; the stream does not advance past it.
+			if st.buf == nil {
+				st.buf = make(map[uint64]*frame.Frame)
+			}
 			st.buf[seq] = f
 			return
 		}
@@ -1104,6 +1132,9 @@ func (e *Endpoint) advance(st *rxStream, f *frame.Frame) {
 		e.drain(st)
 	default:
 		if _, ok := st.buf[seq]; !ok {
+			if st.buf == nil {
+				st.buf = make(map[uint64]*frame.Frame)
+			}
 			st.buf[seq] = f
 		}
 	}
@@ -1127,8 +1158,8 @@ func (e *Endpoint) drain(st *rxStream) {
 // when a recovering process becomes able to accept messages again, rather
 // than waiting out a retransmission interval).
 func (e *Endpoint) Poke() {
-	for _, st := range e.rx {
-		if st.synced {
+	for _, st := range e.rx.v {
+		if st != nil && st.synced {
 			e.drain(st)
 		}
 	}
@@ -1145,8 +1176,8 @@ func (e *Endpoint) Abort(pred func(f *frame.Frame) bool) []*frame.Frame {
 			delete(e.inflight, id)
 			if fl.unit != nil {
 				e.unitMemberDone(fl.unit)
-			} else if e.perDest[fl.f.Dst] > 0 {
-				e.perDest[fl.f.Dst]--
+			} else if e.perDest.get(fl.f.Dst) > 0 {
+				e.perDest.set(fl.f.Dst, e.perDest.get(fl.f.Dst)-1)
 			}
 			out = append(out, fl.f)
 		}
@@ -1197,10 +1228,10 @@ func (e *Endpoint) ack(f *frame.Frame) {
 		})
 		return
 	}
-	p := e.ackPend[f.Src]
+	p := e.ackPend.get(f.Src)
 	if p == nil {
 		p = &ackPending{}
-		e.ackPend[f.Src] = p
+		e.ackPend.set(f.Src, p)
 	}
 	rec := frame.AckRec{ID: f.ID, Rcv: f.To}
 	for i := range p.recs {
@@ -1230,7 +1261,7 @@ const maxFlushAckRecs = (frame.MaxBody - 16) / frame.AckRecLen
 // cumulative Ack frames — the fallback when the delay expires with no
 // reverse-direction traffic to ride.
 func (e *Endpoint) flushAcks(src frame.NodeID) {
-	p := e.ackPend[src]
+	p := e.ackPend.get(src)
 	if p == nil {
 		return
 	}
@@ -1263,7 +1294,7 @@ func (e *Endpoint) flushAcks(src frame.NodeID) {
 // been accepted and acknowledged here, so the sender may complete frames
 // whose individual acks were lost or superseded.
 func (e *Endpoint) cumFor(src frame.NodeID) (uint64, bool) {
-	st := e.rx[src]
+	st := e.rx.get(src)
 	if st == nil || !st.synced || st.expected == 0 {
 		return 0, false
 	}
@@ -1282,7 +1313,7 @@ func (e *Endpoint) attachAcks(f *frame.Frame) {
 		f.AckCumSet = true
 		f.AckCum = cum
 	}
-	p := e.ackPend[f.Dst]
+	p := e.ackPend.get(f.Dst)
 	if p == nil || len(p.recs) == 0 {
 		return
 	}
@@ -1316,15 +1347,71 @@ func (e *Endpoint) detachAcks(f *frame.Frame) {
 
 var _ lan.Station = (*Endpoint)(nil)
 
-// dupCache is a fixed-size FIFO set of message ids.
+// destTable is per-destination state kept in a slice indexed by NodeID.
+// Node ids are small and dense (0..n-1), so a slice lookup replaces a map
+// probe on the per-frame hot path. The zero value is ready to use; the
+// backing slice grows on first touch of a high id. Negative ids (the
+// Broadcast sentinel is -1) read as the zero value and must never be set.
+type destTable[T any] struct {
+	v []T
+}
+
+func (d *destTable[T]) get(id frame.NodeID) T {
+	if id < 0 || int(id) >= len(d.v) {
+		var zero T
+		return zero
+	}
+	return d.v[id]
+}
+
+func (d *destTable[T]) set(id frame.NodeID, x T) {
+	if id < 0 {
+		panic("transport: destTable.set on negative node id")
+	}
+	if int(id) >= len(d.v) {
+		if int(id) < cap(d.v) {
+			// Spare capacity is always zeroed (allocated by make, never
+			// written past len, and reset clears the full length).
+			d.v = d.v[:int(id)+1]
+		} else {
+			// Grow geometrically: touching ids 0..n-1 in order must cost
+			// O(log n) reallocations, not one per new maximum.
+			n := int(id) + 1
+			if c := 2 * cap(d.v); n < c {
+				n = c
+			}
+			nv := make([]T, int(id)+1, n)
+			copy(nv, d.v)
+			d.v = nv
+		}
+	}
+	d.v[id] = x
+}
+
+func (d *destTable[T]) reset() {
+	clear(d.v)
+}
+
+// presize reserves room for node ids 0..n-1 up front.
+func (d *destTable[T]) presize(n int) {
+	if n > len(d.v) {
+		d.v = make([]T, n)
+	}
+}
+
+// dupCache is a fixed-size FIFO set of message ids. The map and ring grow
+// on demand up to the configured capacity: hundred-node clusters construct
+// hundreds of endpoints, and pre-reserving 4096 slots apiece made endpoint
+// construction the single largest line in the cluster-bringup profile.
 type dupCache struct {
 	set  map[frame.MsgID]struct{}
 	ring []frame.MsgID
 	next int
+	cap  int
 }
 
 func newDupCache(n int) *dupCache {
-	return &dupCache{set: make(map[frame.MsgID]struct{}, n), ring: make([]frame.MsgID, n)}
+	return &dupCache{set: make(map[frame.MsgID]struct{}), cap: n}
 }
 
 func (c *dupCache) contains(id frame.MsgID) bool {
@@ -1334,6 +1421,12 @@ func (c *dupCache) contains(id frame.MsgID) bool {
 
 func (c *dupCache) add(id frame.MsgID) {
 	if c.contains(id) {
+		return
+	}
+	if len(c.ring) < c.cap {
+		// Still filling: nothing to evict yet.
+		c.ring = append(c.ring, id)
+		c.set[id] = struct{}{}
 		return
 	}
 	old := c.ring[c.next]

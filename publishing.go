@@ -291,6 +291,9 @@ func New(cfg Config) *Cluster {
 
 	tcfg := cfg.Transport
 	tcfg.Metrics = c.mets
+	// Pre-size every endpoint's per-destination tables for the full station
+	// id space (processing nodes, recorders, spares).
+	tcfg.Peers = cfg.Nodes + nRecs + cfg.Spares
 	recProc := frame.NilProc
 	if cfg.Publishing {
 		recProc = ProcID{Node: recNode, Local: 1}
@@ -337,6 +340,7 @@ func New(cfg Config) *Cluster {
 		rtcfg := cfg.Transport
 		rtcfg.NeedRecorderAck = false
 		rtcfg.Metrics = c.mets
+		rtcfg.Peers = tcfg.Peers
 		for i := 0; i < nRecs; i++ {
 			rcfg := recorder.DefaultConfig(NodeID(cfg.Nodes+i), watched)
 			rcfg.Metrics = c.mets
