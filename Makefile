@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport bench-store bench-sim scale-smoke sweep
+.PHONY: check vet build test race monitor sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport bench-store bench-sim scale-smoke sweep
 
-check: vet build test race sweep-verify chaos fuzz scale-smoke bench-transport bench-store bench-sim
+check: vet build test race monitor sweep-verify chaos fuzz scale-smoke bench-transport bench-store bench-sim
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,14 @@ test:
 race:
 	$(GO) test -race ./internal/sweep ./internal/stablestore \
 		./internal/metrics ./internal/trace ./internal/frame ./internal/simtime
+
+# The online invariant monitor: its unit tests plus the cluster-level
+# integration tests (duplicate flagged before quiescence, report determinism,
+# monitor passivity), race-checked because the monitor hangs off the trace
+# observer that every subsystem's hot path crosses.
+monitor:
+	$(GO) test -race ./internal/monitor
+	$(GO) test -race -run 'TestMonitor' -count=1 .
 
 # The seeded fault-schedule sweep plus the invariant checker, race-checked:
 # the harness runs baseline and faulted clusters on real goroutines via

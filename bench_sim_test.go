@@ -72,8 +72,11 @@ type simCluster struct {
 // workload scenario through it, and runs to a quiescent horizon. The event
 // trace is disabled, as any long scenario run would disable it — making
 // trace attribution free when off is part of what the benchmark measures.
-func runSimCluster(nodes int, seed uint64) simClusterResult {
-	s := buildSimCluster(nodes, seed)
+// With monitored set, the run instead carries the full online-observability
+// stack: tracing on (bounded by a flight-recorder ring) with the invariant
+// monitor subscribed — the overhead the monitored benchmark variant prices.
+func runSimCluster(nodes int, seed uint64, monitored bool) simClusterResult {
+	s := buildSimCluster(nodes, seed, monitored)
 	start := time.Now()
 	// The horizon is the last arrival plus a drain window for retransmits,
 	// delayed acks, and recorder publishing to quiesce.
@@ -88,7 +91,7 @@ func runSimCluster(nodes int, seed uint64) simClusterResult {
 }
 
 // buildSimCluster assembles the scenario without running it.
-func buildSimCluster(nodes int, seed uint64) *simCluster {
+func buildSimCluster(nodes int, seed uint64, monitored bool) *simCluster {
 	wcfg := simClusterScale(nodes)
 	wcfg.Seed = seed
 	events := workload.Msgs(wcfg, 8*nodes)
@@ -110,8 +113,14 @@ func buildSimCluster(nodes int, seed uint64) *simCluster {
 	// what this scenario stresses.
 	cfg.LAN.BitsPerSecond = 100_000_000
 	cfg.LAN.InterframeGap = 50 * simtime.Microsecond
+	if monitored {
+		cfg.Monitor = true
+		cfg.FlightRecorder = 4096
+	}
 	c := publishing.New(cfg)
-	c.Trace().Enable(false)
+	if !monitored {
+		c.Trace().Enable(false)
+	}
 
 	var delivered int64
 	c.Registry().RegisterMachine("sink", func(args []byte) publishing.Machine {
@@ -192,23 +201,37 @@ func (s *simSink) Restore(b []byte) error {
 func BenchmarkSimThroughput(b *testing.B) {
 	for _, nodes := range []int{8, 64, 256} {
 		b.Run(fmt.Sprintf("%dnodes", nodes), func(b *testing.B) {
-			b.ReportAllocs()
-			var fired uint64
-			var wall time.Duration
-			var virtual simtime.Time
-			for i := 0; i < b.N; i++ {
-				r := runSimCluster(nodes, simClusterSeed)
-				if r.delivered != int64(r.sent) {
-					b.Fatalf("delivered %d of %d messages", r.delivered, r.sent)
-				}
-				fired += r.fired
-				wall += r.wall
-				virtual += r.virtual
-			}
-			sec := wall.Seconds()
-			b.ReportMetric(float64(fired)/sec, "events/s")
-			b.ReportMetric(virtual.Seconds()/sec, "vsec/s")
-			b.ReportMetric(0, "ns/op") // wall time lives in the custom metrics
+			benchSimCluster(b, nodes, false)
 		})
 	}
+}
+
+// BenchmarkSimThroughputMonitored is the 256-node scenario with the full
+// online-observability stack attached — tracing on behind a flight-recorder
+// ring, the invariant monitor subscribed to every event — pricing what
+// always-on monitoring costs against the plain run above.
+func BenchmarkSimThroughputMonitored(b *testing.B) {
+	b.Run("256nodes", func(b *testing.B) {
+		benchSimCluster(b, 256, true)
+	})
+}
+
+func benchSimCluster(b *testing.B, nodes int, monitored bool) {
+	b.ReportAllocs()
+	var fired uint64
+	var wall time.Duration
+	var virtual simtime.Time
+	for i := 0; i < b.N; i++ {
+		r := runSimCluster(nodes, simClusterSeed, monitored)
+		if r.delivered != int64(r.sent) {
+			b.Fatalf("delivered %d of %d messages", r.delivered, r.sent)
+		}
+		fired += r.fired
+		wall += r.wall
+		virtual += r.virtual
+	}
+	sec := wall.Seconds()
+	b.ReportMetric(float64(fired)/sec, "events/s")
+	b.ReportMetric(virtual.Seconds()/sec, "vsec/s")
+	b.ReportMetric(0, "ns/op") // wall time lives in the custom metrics
 }

@@ -3,6 +3,8 @@ package publishing
 import (
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"publishing/internal/chaos"
@@ -15,11 +17,13 @@ import (
 const chaosSweepSeeds = 50
 
 // TestChaosScheduleSweep generates one fault schedule per seed and requires
-// every system-wide invariant to hold. On failure it prints the checker
-// report and a minimized reproducer token.
+// every system-wide invariant to hold. On failure it dumps post-mortem
+// artifacts (trace tail, online monitor report, metrics snapshot) and prints
+// the checker report, the artifact path, and a minimized reproducer token.
 func TestChaosScheduleSweep(t *testing.T) {
 	lim := chaos.DefaultLimits()
 	opt := chaos.DefaultOptions()
+	opt.ArtifactDir = filepath.Join(os.TempDir(), "publishing-chaos")
 	for seed := uint64(1); seed <= chaosSweepSeeds; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%03d", seed), func(t *testing.T) {
@@ -29,6 +33,9 @@ func TestChaosScheduleSweep(t *testing.T) {
 			res := chaos.Run(s, build, opt)
 			if !res.Passed {
 				t.Errorf("invariants violated:\n%s", res.Report)
+				if res.Artifacts != "" {
+					t.Errorf("post-mortem artifacts for schedule %s:\n%s", s.Hex(), res.Artifacts)
+				}
 				t.Fatal(chaos.Reproducer(s, build, opt))
 			}
 		})
@@ -83,6 +90,51 @@ func TestChaosBrokenDupSuppressionCaught(t *testing.T) {
 	intact := chaos.Run(s, ChaosBuild(ChaosOptions{}), opt)
 	if !intact.Passed {
 		t.Fatalf("intact transport failed the same schedule:\n%s", intact.Report)
+	}
+}
+
+// TestChaosQuarantinedDurableDupHole pins the ROADMAP's known exactly-once
+// hole ("Durable duplicate suppression across recovery"): the transport's
+// dup-suppression state is volatile, so at this non-canonical cluster size a
+// medium dup-burst overlapping a worker crash re-delivers a guaranteed frame
+// after reboot ("delivered 2 with 0 replays"). The online monitor flags the
+// duplicate the moment it lands (t=15243.259ms, long before the t≈30.6s
+// quiescence the checker needs), and monitor and checker verdicts agree.
+//
+// Quarantined: the fix (derive the post-recovery acceptance floor from the
+// recorder's replay basis, or checkpoint the suppression map — see ROADMAP)
+// is future work, so the test only runs with CHAOS_RUN_QUARANTINED=1. When
+// the hole is closed this test will fail loudly, flip its sense, and the
+// ROADMAP item can be retired.
+func TestChaosQuarantinedDurableDupHole(t *testing.T) {
+	if os.Getenv("CHAOS_RUN_QUARANTINED") == "" {
+		t.Skip("known exactly-once hole, quarantined until the durable dup-suppression fix lands " +
+			"(ROADMAP: \"Durable duplicate suppression across recovery\"); set CHAOS_RUN_QUARANTINED=1 to run")
+	}
+	// chaos.Generate(8, chaos.DefaultLimits()).Hex() — pinned so the repro
+	// survives any future change to the schedule generator.
+	const token = "0000000000000008020000080500000000124f940c000009ea00000b1e87a5450a000005" +
+		"79000006aacf975f0b000004db000004c4a56daf08000013d0000005b0ea89ee060000031a0000" +
+		"0934a65b630500000343000006410aa8e0"
+	s, err := chaos.DecodeHex(token)
+	if err != nil {
+		t.Fatalf("bad pinned token: %v", err)
+	}
+	res := chaos.Run(s, ChaosBuild(ChaosOptions{Nodes: 4}), chaos.DefaultOptions())
+	if res.Passed {
+		t.Fatalf("the durable-dup-suppression hole no longer reproduces — close the ROADMAP item, "+
+			"widen the sweep to rotate cluster sizes, and delete this quarantine:\n%s", res.Report)
+	}
+	dup, agree := false, false
+	for _, v := range res.Violations {
+		if v.Invariant == "exactly-once" {
+			dup = true
+		}
+	}
+	agree = strings.Contains(res.Report, "monitor-agree      ok")
+	if !dup || !agree {
+		t.Fatalf("hole reproduced with an unexpected signature (want exactly-once violation with "+
+			"online/post-quiescence agreement):\n%s", res.Report)
 	}
 }
 

@@ -162,6 +162,11 @@ func ChaosScenario(seed uint64, opt ChaosOptions) chaos.Scenario {
 	if opt.SegmentStore {
 		cfg.Store.Backend = stablestore.BackendSegment
 	}
+	// Every chaos run carries the online invariant monitor, so the checker
+	// can cross-check its streaming verdict against the post-quiescence
+	// invariants (and so violations come stamped with the virtual time the
+	// violating event landed, not just discovered after the fact).
+	cfg.Monitor = true
 	c := New(cfg)
 	wl := &chaosWorkload{n: opt.Msgs}
 	c.Registry().RegisterMachine("chaos-witness", func([]byte) Machine {

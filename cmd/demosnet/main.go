@@ -39,6 +39,7 @@ func main() {
 		showMet   = flag.Bool("metrics", false, "print the unified metrics snapshot at the end")
 		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event JSON timeline to this file")
 		flight    = flag.Int("flight", 0, "flight-recorder mode: keep only the most recent N trace events")
+		monitorOn = flag.Bool("monitor", false, "attach the online invariant monitor; print violations live and its report at the end")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 	cfg.Medium = publishing.MediumKind(*medium)
 	cfg.Seed = *seed
 	cfg.FlightRecorder = *flight
+	cfg.Monitor = *monitorOn
 	c := publishing.New(cfg)
 	if *traceOut != "" {
 		// Timelines need the per-message detail events (replay records,
@@ -117,6 +119,10 @@ func main() {
 	c.Run(3 * publishing.Minute)
 
 	fmt.Printf("\nsink received %d/%d messages: %v\n", len(received), *msgs, received)
+	if *monitorOn {
+		fmt.Println()
+		die(c.Monitor().WriteReport(os.Stdout))
+	}
 	// Every subsystem reports through the same registry, so the closing
 	// summary is one printer over one snapshot instead of per-type printfs.
 	snap := c.Metrics().Snapshot()

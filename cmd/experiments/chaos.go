@@ -20,12 +20,15 @@ type chaosRow struct {
 // runChaos sweeps n seeded fault schedules through the chaos harness and
 // prints a verdict per seed — the CLI face of the TestChaosScheduleSweep
 // table, for exploring seeds beyond the checked-in range. Failures print the
-// invariant report and a minimized reproducer, and exit nonzero.
-func runChaos(start uint64, n int) {
+// invariant report, the post-mortem artifact directory (trace tail, online
+// monitor report, metrics snapshot), and a minimized reproducer, and exit
+// nonzero.
+func runChaos(start uint64, n int, artifactDir string) {
 	section("chaos harness sweep (internal/chaos)")
 	lim := chaos.DefaultLimits()
 	fmt.Printf("  seeds %d..%d, window %dms, <=%d faults each, %d workers\n",
 		start, start+uint64(n)-1, lim.WindowMs, lim.MaxFaults, runtime.GOMAXPROCS(0))
+	opt := chaos.Options{ArtifactDir: artifactDir}
 
 	rows := make([]chaosRow, n)
 	var wg sync.WaitGroup
@@ -39,7 +42,7 @@ func runChaos(start uint64, n int) {
 			seed := start + uint64(i)
 			s := chaos.Generate(seed, lim)
 			build := publishing.ChaosBuild(publishing.ChaosSeedVariant(seed))
-			rows[i] = chaosRow{seed: seed, sched: s, result: chaos.Run(s, build, chaos.Options{})}
+			rows[i] = chaosRow{seed: seed, sched: s, result: chaos.Run(s, build, opt)}
 		}(i)
 	}
 	wg.Wait()
@@ -61,7 +64,12 @@ func runChaos(start uint64, n int) {
 		if r.result.Passed {
 			continue
 		}
-		fmt.Printf("\n  ---- seed %d ----\n%s\n%s\n", r.seed, r.result.Report,
+		fmt.Printf("\n  ---- seed %d ----\n%s", r.seed, r.result.Report)
+		if r.result.Artifacts != "" {
+			fmt.Printf("  artifacts (trace tail, monitor report, metrics) for schedule %s:\n    %s\n",
+				r.sched.Hex(), r.result.Artifacts)
+		}
+		fmt.Printf("%s\n",
 			chaos.Reproducer(r.sched, publishing.ChaosBuild(publishing.ChaosSeedVariant(r.seed)), chaos.Options{}))
 	}
 	fmt.Fprintf(os.Stderr, "chaos: %d/%d schedules failed\n", failed, len(rows))

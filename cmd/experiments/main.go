@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
@@ -36,7 +37,9 @@ func main() {
 		doVerify = flag.Bool("verify", false, "run the sweep determinism check without writing a trajectory file")
 		doChaos  = flag.Bool("chaos", false, "seeded fault-schedule sweep through the chaos harness")
 		chaosN   = flag.Int("chaosn", 10, "chaos: number of consecutive seeds to sweep")
+		chaosDir = flag.String("chaosdir", "", "chaos: dump failing-schedule artifacts under this directory (default: system temp)")
 		observe  = flag.Bool("observe", false, "crash-and-recover run that exports metrics + timeline")
+		explain  = flag.String("explain", "", "causal post-mortem for one message id on the observe run (implies -observe)")
 		metOut   = flag.String("metrics", "", "observe: write the metrics snapshot here (\"-\" = stdout)")
 		traceOut = flag.String("trace-out", "", "observe: write a Chrome trace-event JSON timeline here")
 		flight   = flag.Int("flight", 0, "observe: keep only the most recent N trace events")
@@ -76,12 +79,16 @@ func main() {
 	}
 	if *doChaos {
 		// A tool run like the sweep; -seed picks the first schedule.
-		runChaos(*seed, *chaosN)
+		dir := *chaosDir
+		if dir == "" {
+			dir = filepath.Join(os.TempDir(), "publishing-chaos")
+		}
+		runChaos(*seed, *chaosN, dir)
 		return
 	}
-	if *observe {
+	if *observe || *explain != "" {
 		// Like the sweep, a tool run outside the default paper set.
-		runObserve(observeOpts{metricsOut: *metOut, traceOut: *traceOut, flight: *flight, seed: *seed, store: *storeEng})
+		runObserve(observeOpts{metricsOut: *metOut, traceOut: *traceOut, flight: *flight, seed: *seed, store: *storeEng, explain: *explain})
 		return
 	}
 	if *doSweep || *doVerify {

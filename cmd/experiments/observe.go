@@ -11,8 +11,10 @@ import (
 	"time"
 
 	"publishing"
+	"publishing/internal/monitor"
 	"publishing/internal/simtime"
 	"publishing/internal/stablestore"
+	"publishing/internal/trace"
 )
 
 // observeOpts carries the surfacing flags from main.
@@ -22,11 +24,16 @@ type observeOpts struct {
 	flight     int    // flight-recorder bound on the trace ring
 	seed       uint64
 	store      string // stable-store backend: "paged" (default) or "segment"
+	explain    string // message id to post-mortem after the run ("" = off)
 }
 
 // runObserve boots a 3-node published cluster, crashes the worker's node
 // mid-stream, lets recovery replay it, and then exports the metrics
-// snapshot and trace timeline per opts.
+// snapshot and trace timeline per opts. With explain set it instead becomes
+// a causal post-mortem: the run carries the online monitor, and afterwards
+// the named message's full timeline is reconstructed from the trace events
+// and cross-referenced against the recorder's database (with -trace-out, the
+// Chrome export narrows to just that message's events).
 func runObserve(o observeOpts) {
 	section("observe — crash-and-recover run with metrics + timeline export")
 
@@ -35,6 +42,7 @@ func runObserve(o observeOpts) {
 	cfg.Seed = o.seed
 	cfg.FlightRecorder = o.flight
 	cfg.Store.Backend = stablestore.Backend(o.store)
+	cfg.Monitor = o.explain != ""
 	c := publishing.New(cfg)
 	if o.traceOut != "" {
 		c.Trace().SetDetailed(true)
@@ -93,10 +101,23 @@ func runObserve(o observeOpts) {
 			fmt.Printf("  wrote metrics snapshot to %s\n", o.metricsOut)
 		}
 	}
+	msgEvents := []trace.Event(nil)
+	if o.explain != "" {
+		fmt.Printf("\n  ---- causal post-mortem for %s ----\n", o.explain)
+		msgEvents = monitor.Explain(os.Stdout, c.Trace().Events(), o.explain)
+		explainStreams(c, o.explain)
+		fmt.Println()
+		obDie(c.Monitor().WriteReport(os.Stdout))
+	}
 	if o.traceOut != "" {
 		f, err := os.Create(o.traceOut)
 		obDie(err)
-		err = c.Trace().WriteChrome(f)
+		if msgEvents != nil {
+			// Single-message export: just this id's causal thread.
+			err = trace.WriteChrome(f, msgEvents)
+		} else {
+			err = c.Trace().WriteChrome(f)
+		}
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
@@ -105,6 +126,32 @@ func runObserve(o observeOpts) {
 		if d := c.Trace().Dropped(); d > 0 {
 			fmt.Printf("  flight recorder dropped %d older events\n", d)
 		}
+	}
+}
+
+// explainStreams cross-references one message id against the recorder's
+// database: for every process stream that holds the message, print its
+// replay-order position — the authoritative "would recovery re-deliver
+// this?" answer, independent of what the trace retained.
+func explainStreams(c *publishing.Cluster, msgID string) {
+	found := false
+	for _, n := range c.Nodes() {
+		k := c.Kernel(n)
+		if k == nil {
+			continue
+		}
+		for _, p := range k.Procs() {
+			stream := c.Recorder().StreamSummary(p)
+			for i, id := range stream {
+				if id.String() == msgID {
+					fmt.Printf("recorder database: position %d/%d in %s's replay stream\n", i+1, len(stream), p)
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		fmt.Println("recorder database: not in any replay stream (acked past, checkpoint-trimmed, or never published)")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"publishing/internal/monitor"
 	"publishing/internal/simtime"
 	"publishing/internal/trace"
 )
@@ -282,8 +283,37 @@ func Check(sys System, s Schedule, faulted, baseline RunOutcome, cfg CheckConfig
 		ok("quiescent-queues", "all zero")
 	}
 
+	// M online-monitor cross-check: when the system runs the online invariant
+	// monitor (internal/monitor), its streaming duplicate-delivery verdict
+	// must agree with I1's post-quiescence count — flagged online at the
+	// violating delivery's virtual timestamp, confirmed here after the run —
+	// and its online-only invariants (acceptance order, replay basis,
+	// re-executed output, give-up inference) are surfaced as violations in
+	// their own right.
+	hasMon := false
+	if msys, isMon := sys.(interface{ Monitor() *monitor.Monitor }); isMon {
+		if mon := msys.Monitor(); mon != nil {
+			hasMon = true
+			monDups := mon.DupViolations()
+			switch {
+			case monDups > 0 && len(dups) == 0:
+				violate("monitor-agree", "online monitor flagged %d duplicate deliveries this checker did not", monDups)
+			case monDups == 0 && len(dups) > 0:
+				violate("monitor-agree", "post-quiescence duplicates were never flagged online")
+			default:
+				ok("monitor-agree", "dup verdicts agree (online=%d post-quiescence=%d)", monDups, len(dups))
+			}
+			for _, v := range mon.Violations() {
+				if v.Invariant == monitor.InvExactlyOnce || v.Invariant == monitor.InvReexecOutput {
+					continue // the dup family is covered by exactly-once + the agreement line
+				}
+				violate("online-"+v.Invariant, "%s", v)
+			}
+		}
+	}
+
 	if len(res.Violations) == 0 {
-		fmt.Fprintf(&b, "PASS %d invariants\n", 6+boolToInt(cfg.RecoveryBound > 0))
+		fmt.Fprintf(&b, "PASS %d invariants\n", 6+boolToInt(cfg.RecoveryBound > 0)+boolToInt(hasMon))
 	} else {
 		fmt.Fprintf(&b, "FAIL %d violation(s)\n", len(res.Violations))
 	}

@@ -40,6 +40,13 @@ type Options struct {
 	// Grace is the extra virtual time after completion for retransmissions,
 	// acks, and recoveries to drain before invariants are checked.
 	Grace simtime.Time
+	// ArtifactDir, when set, makes Run dump post-mortem artifacts for every
+	// failing schedule into a per-schedule directory underneath it: the
+	// checker report, the faulted run's trace tail (the flight-recorder ring
+	// when one is bound, the full log otherwise), and the final metrics
+	// snapshot. Minimization probes never dump — Reproducer clears this
+	// before re-running candidates.
+	ArtifactDir string
 }
 
 // DefaultOptions gives faulted runs four virtual minutes to converge and
@@ -57,6 +64,9 @@ type Result struct {
 	// Report is the deterministic invariant-checker report: same schedule,
 	// byte-identical report.
 	Report string
+	// Artifacts is the directory post-mortem artifacts were dumped into
+	// ("" when the run passed or Options.ArtifactDir was unset).
+	Artifacts string
 }
 
 // Run executes the full harness cycle for one schedule: a fault-free
@@ -79,7 +89,13 @@ func Run(s Schedule, build BuildFunc, opt Options) Result {
 	faulted := runOne(sc, opt)
 
 	res := Check(sc.Sys, s, faulted, baseline, sc.CheckCfg)
-	return Result{Schedule: s, Passed: res.Passed(), Violations: res.Violations, Report: res.Report}
+	r := Result{Schedule: s, Passed: res.Passed(), Violations: res.Violations, Report: res.Report}
+	if !r.Passed && opt.ArtifactDir != "" {
+		if dir, err := dumpArtifacts(opt.ArtifactDir, sc.Sys, s, res); err == nil {
+			r.Artifacts = dir
+		}
+	}
+	return r
 }
 
 // runOne drives one scenario to quiescence and collects its outcome.
@@ -99,6 +115,7 @@ func runOne(sc Scenario, opt Options) RunOutcome {
 // instructions a test failure prints: re-running the minimized hex token
 // replays the exact failure.
 func Reproducer(s Schedule, build BuildFunc, opt Options) string {
+	opt.ArtifactDir = "" // probes re-run the failure; don't dump each one
 	min := Minimize(s, func(cand Schedule) bool {
 		return !Run(cand, build, opt).Passed
 	})

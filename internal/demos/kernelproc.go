@@ -118,6 +118,9 @@ func (k *Kernel) handleControl(f *frame.Frame) bool {
 		}
 		k.stats.Replayed++
 		k.noteReplayed(p, ctl.ReplayID)
+		// The replay event precedes the delivery it licenses, so an online
+		// exactly-once monitor never sees a replayed delivery as a duplicate.
+		k.env.Log.AddMsg(trace.KindReplay, int(k.node), ctl.ReplayID.String(), ctl.Proc.String(), "replayed")
 		k.pushToQueue(p, Msg{
 			ID:      ctl.ReplayID,
 			From:    ctl.ReplayFrom,
@@ -125,7 +128,6 @@ func (k *Kernel) handleControl(f *frame.Frame) bool {
 			Code:    ctl.ReplayCode,
 			Body:    ctl.ReplayBody,
 		}, ctl.ReplayLink)
-		k.env.Log.AddMsg(trace.KindReplay, int(k.node), ctl.ReplayID.String(), ctl.Proc.String(), "replayed")
 
 	case OpRecoveryDone:
 		p := k.procs[ctl.Proc]
@@ -232,6 +234,14 @@ func (k *Kernel) handleReplayBatch(f *frame.Frame, hdr ReplayBatchHdr) bool {
 	for i := range recs {
 		k.stats.Replayed++
 		k.noteReplayed(p, recs[i].ID)
+		if detailed {
+			// Per-record causal event: the replayed message carries its
+			// original id, tying the replay back to the pre-crash publish.
+			// Emitted before the delivery it licenses, so an online
+			// exactly-once monitor never counts a replay as a duplicate.
+			k.env.Log.AddMsg(trace.KindReplay, int(k.node), recs[i].ID.String(),
+				hdr.Proc.String(), "replayed from batch #%d", hdr.Seq)
+		}
 		k.pushToQueue(p, Msg{
 			ID:      recs[i].ID,
 			From:    recs[i].From,
@@ -239,12 +249,6 @@ func (k *Kernel) handleReplayBatch(f *frame.Frame, hdr ReplayBatchHdr) bool {
 			Code:    recs[i].Code,
 			Body:    recs[i].Body,
 		}, recs[i].Link)
-		if detailed {
-			// Per-record causal event: the replayed message carries its
-			// original id, tying the replay back to the pre-crash publish.
-			k.env.Log.AddMsg(trace.KindReplay, int(k.node), recs[i].ID.String(),
-				hdr.Proc.String(), "replayed from batch #%d", hdr.Seq)
-		}
 	}
 	p.replayBatch = hdr.Seq
 	k.stats.ReplayBatches++

@@ -66,3 +66,24 @@ func TestUnicastDeliveryAllocs(t *testing.T) {
 		t.Fatal("unicast frame never arrived")
 	}
 }
+
+// TestObserverInstalledStillZeroAlloc pins the monitor-off contract: an
+// installed trace observer must cost nothing while the log is disabled. The
+// online monitor rides the observer hook, so this is what keeps "monitor
+// compiled in but not enabled" indistinguishable from the seed hot path —
+// no closure capture, no Event construction, no allocation.
+func TestObserverInstalledStillZeroAlloc(t *testing.T) {
+	m, recv := newAllocRig(64)
+	observed := 0
+	m.log.SetObserver(func(e trace.Event) { observed++ })
+	f := &frame.Frame{Type: frame.Unguaranteed, Src: 0, Dst: frame.Broadcast}
+	if n := testing.AllocsPerRun(200, func() { m.deliver(0, f) }); n != 0 {
+		t.Errorf("broadcast delivery with an observer on a disabled log allocated %.1f objects per frame; want 0", n)
+	}
+	if observed != 0 {
+		t.Fatalf("disabled log leaked %d events to the observer", observed)
+	}
+	if recv[1].got == 0 {
+		t.Fatal("delivery never happened")
+	}
+}

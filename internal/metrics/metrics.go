@@ -24,6 +24,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/bits"
 	"sort"
 )
@@ -120,6 +121,41 @@ func (h *Histogram) Sum() int64 {
 		return 0
 	}
 	return h.sum
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution from the power-of-two buckets: the result is the upper bound
+// of the first bucket whose cumulative count reaches q·count — the same
+// `le`-style bound WriteText labels buckets with. Zero observations give 0.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return quantileFromBuckets(h.buckets[:], h.count, q)
+}
+
+// quantileFromBuckets is the shared bucket-walk behind Histogram.Quantile
+// and the snapshot exporters (which only have Sample.Buckets).
+func quantileFromBuckets(buckets []int64, count int64, q float64) int64 {
+	if count <= 0 {
+		return 0
+	}
+	rank := int64(q*float64(count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > count {
+		rank = count
+	}
+	cum := int64(0)
+	for i, b := range buckets {
+		cum += b
+		if cum >= rank {
+			return bucketUpper(i) - 1
+		}
+	}
+	// Unreachable when buckets sum to count; a defensive ceiling otherwise.
+	return math.MaxInt64
 }
 
 // Kind distinguishes instrument types in snapshots.
@@ -270,6 +306,19 @@ type Sample struct {
 	// trimmed: Buckets[0] counts v <= 0, Buckets[i] counts
 	// 2^(i-1) <= v < 2^i.
 	Buckets []int64 `json:"buckets,omitempty"`
+	// P50/P99/P999 are bucket-resolution quantile estimates (the upper
+	// bound of the bucket holding the quantile rank), present for
+	// histograms with at least one observation.
+	P50  int64 `json:"p50,omitempty"`
+	P99  int64 `json:"p99,omitempty"`
+	P999 int64 `json:"p999,omitempty"`
+}
+
+// fillQuantiles recomputes the sample's quantile fields from its buckets.
+func (s *Sample) fillQuantiles() {
+	s.P50 = quantileFromBuckets(s.Buckets, s.Value, 0.5)
+	s.P99 = quantileFromBuckets(s.Buckets, s.Value, 0.99)
+	s.P999 = quantileFromBuckets(s.Buckets, s.Value, 0.999)
 }
 
 // Snapshot is a deterministic point-in-time reading of the whole registry,
@@ -310,6 +359,7 @@ func (r *Registry) Snapshot() Snapshot {
 			if last >= 0 {
 				smp.Buckets = append([]int64(nil), e.h.buckets[:last+1]...)
 			}
+			smp.fillQuantiles()
 		}
 		s.Samples = append(s.Samples, smp)
 	}
@@ -370,6 +420,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 				}
 				smp.Buckets = bk[:last+1]
 			}
+			if smp.Kind == KindHistogram.String() {
+				// Quantiles of the interval's own distribution, not a
+				// meaningless difference of cumulative quantiles.
+				smp.fillQuantiles()
+			}
 		}
 		out.Samples = append(out.Samples, smp)
 	}
@@ -422,6 +477,19 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		}
 		if _, err := fmt.Fprintf(w, "%s_count{node=\"%d\"} %d\n", base, smp.Node, smp.Value); err != nil {
 			return err
+		}
+		if smp.Value > 0 {
+			// Summary-style quantile series (bucket-resolution estimates),
+			// so dashboards read p50/p99/p999 without re-deriving them.
+			for _, q := range [...]struct {
+				label string
+				v     int64
+			}{{"0.5", smp.P50}, {"0.99", smp.P99}, {"0.999", smp.P999}} {
+				if _, err := fmt.Fprintf(w, "%s{node=\"%d\",quantile=\"%s\"} %d\n",
+					base, smp.Node, q.label, q.v); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil

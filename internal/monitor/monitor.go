@@ -1,0 +1,488 @@
+// Package monitor checks the paper's §5 reliability claims online, while a
+// simulation runs, instead of post-quiescence the way internal/chaos does.
+// It subscribes to the trace event stream (trace.Log.SetObserver) and keeps
+// per-message and per-stream state, so a violation is flagged at the virtual
+// timestamp of the violating event — the moment a duplicate lands, an
+// acceptance order goes backwards, or a replay draws on a message that was
+// never published — minutes of virtual time before the chaos checker would
+// see it.
+//
+// Two invariants the post-quiescence checker cannot express at all become
+// checkable here, because the monitor sees give-up and re-execution events
+// in causal order (ROADMAP "carried forward" items):
+//
+//   - reexec-output: a duplicated delivery whose extra copy traces back to a
+//     fresh (non-retransmission) resend after the sender recovered — output
+//     re-executed past the suppression window escaping to the world;
+//   - giveup-inference: the recorder's cumulative-ack inference promoting a
+//     message whose sender had exhausted its retry budget and whose delivery
+//     was never observed ("lost then wrongly inferred", latent replay-basis
+//     corruption even when the run otherwise passes).
+//
+// On the same stream the monitor tracks virtual-time SLOs (publish→deliver
+// and publish→stable latency histograms, exported through the cluster's
+// metrics registry with p50/p99/p999 quantiles) and runs a stall detector: a
+// periodic virtual-time tick that fires a diagnostic when no forward
+// progress happens on a nonempty queue for a configurable window.
+//
+// The monitor is passive: it never mutates simulation state, draws no
+// randomness, and its report is a deterministic function of the event
+// stream — same seed, byte-identical report (asserted by tests).
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"publishing/internal/metrics"
+	"publishing/internal/simtime"
+	"publishing/internal/trace"
+)
+
+// Invariant names, shared with the chaos cross-check and reports.
+const (
+	InvExactlyOnce     = "exactly-once"
+	InvAcceptanceOrder = "acceptance-order"
+	InvReplayBasis     = "replay-basis"
+	InvReexecOutput    = "reexec-output"
+	InvGiveupInference = "giveup-inference"
+)
+
+// Config tunes a Monitor.
+type Config struct {
+	// StallWindow is how long (virtual) forward progress may pause on a
+	// nonempty queue before the stall detector fires (default 10 s).
+	StallWindow simtime.Time
+	// QueueProbe, when set, reports the total queued-message count across
+	// the system and a short human-readable depth description; the stall
+	// detector calls it only when progress has already paused. The cluster
+	// wires this to its kernel queue-depth gauges.
+	QueueProbe func() (queued int64, depths string)
+	// Metrics, when set, receives the SLO latency histograms (node -1,
+	// subsystem "monitor").
+	Metrics *metrics.Registry
+}
+
+// DefaultStallWindow is the stall detector's default virtual window.
+const DefaultStallWindow = 10 * simtime.Second
+
+// Violation is one online invariant failure, stamped with the virtual time
+// of the event that violated it.
+type Violation struct {
+	At        simtime.Time
+	Invariant string
+	// Msg is the message id involved (the causal key), when there is one.
+	Msg    string
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.Msg != "" {
+		return fmt.Sprintf("t=%v %s %s: %s", v.At, v.Invariant, v.Msg, v.Detail)
+	}
+	return fmt.Sprintf("t=%v %s: %s", v.At, v.Invariant, v.Detail)
+}
+
+// Stall is one stall-detector diagnostic. Stalls are diagnostics, not
+// violations: a partition or a crashed node legitimately pauses progress.
+type Stall struct {
+	At     simtime.Time
+	Detail string
+}
+
+func (s Stall) String() string { return fmt.Sprintf("t=%v stall: %s", s.At, s.Detail) }
+
+// msgState is what the monitor remembers about one message id.
+type msgState struct {
+	firstSendAt simtime.Time
+	haveSend    bool
+	// freshSends counts non-retransmission KindSend events; sendRecGen is
+	// the sender's recovery count at the first of them. A later fresh send
+	// under a higher recovery count is a re-executed output.
+	freshSends int
+	sendRecGen int
+	reexecSend bool
+	delivered  int
+	replays    int
+	gaveUp     bool
+	inferred   bool
+	dupFlagged bool
+	m5Flagged  bool
+	stableSeen bool
+}
+
+// arrKey identifies one acceptance-order stream: the recorder node that
+// assigned the order and the destination process.
+type arrKey struct {
+	node int
+	proc string
+}
+
+// pubKey identifies one published message in one destination stream.
+type pubKey struct {
+	proc string
+	msg  string
+}
+
+// Monitor is the online invariant checker. Create with New, subscribe via
+// trace.Log.SetObserver(m.Observe), and drive the stall detector with
+// periodic Tick calls on the virtual clock. Not safe for concurrent use —
+// the simulation is single-threaded by design.
+type Monitor struct {
+	cfg Config
+	now func() simtime.Time
+
+	msgs       map[string]*msgState
+	arr        map[arrKey]uint64
+	arrSeen    map[arrKey]bool
+	published  map[pubKey]bool
+	basisMiss  map[pubKey]bool
+	recoveries map[string]int
+	inflight   map[string]struct{}
+
+	violations []Violation
+	stalls     []Stall
+
+	// progress advances on deliveries, publishes, replays, and acks; the
+	// stall detector watches it stand still.
+	lastProgress   uint64
+	lastProgressAt simtime.Time
+	stalled        bool
+
+	delivLat  *metrics.Histogram
+	stableLat *metrics.Histogram
+
+	// event counts for the report.
+	events, sends, deliveries, publishes, replays, acks, giveups, progress uint64
+}
+
+// New builds a monitor reading virtual time from now.
+func New(cfg Config, now func() simtime.Time) *Monitor {
+	if cfg.StallWindow <= 0 {
+		cfg.StallWindow = DefaultStallWindow
+	}
+	m := &Monitor{
+		cfg:        cfg,
+		now:        now,
+		msgs:       make(map[string]*msgState),
+		arr:        make(map[arrKey]uint64),
+		arrSeen:    make(map[arrKey]bool),
+		published:  make(map[pubKey]bool),
+		basisMiss:  make(map[pubKey]bool),
+		recoveries: make(map[string]int),
+		inflight:   make(map[string]struct{}),
+	}
+	if cfg.Metrics != nil {
+		m.delivLat = cfg.Metrics.Histogram(-1, "monitor", "deliver_latency_ns")
+		m.stableLat = cfg.Metrics.Histogram(-1, "monitor", "stable_latency_ns")
+	}
+	return m
+}
+
+// StallWindow returns the configured stall window.
+func (m *Monitor) StallWindow() simtime.Time { return m.cfg.StallWindow }
+
+func (m *Monitor) violate(at simtime.Time, inv, msg, format string, args ...any) {
+	m.violations = append(m.violations, Violation{
+		At: at, Invariant: inv, Msg: msg, Detail: fmt.Sprintf(format, args...),
+	})
+}
+
+func (m *Monitor) state(id string) *msgState {
+	ms := m.msgs[id]
+	if ms == nil {
+		ms = &msgState{}
+		m.msgs[id] = ms
+	}
+	return ms
+}
+
+// senderOf extracts the sending process from a message id ("pN.L#S").
+func senderOf(msgID string) string {
+	if i := strings.IndexByte(msgID, '#'); i >= 0 {
+		return msgID[:i]
+	}
+	return msgID
+}
+
+// Observe consumes one trace event. It is the callback to install with
+// trace.Log.SetObserver.
+func (m *Monitor) Observe(e trace.Event) {
+	m.events++
+	switch e.Kind {
+	case trace.KindSend:
+		if e.Msg == "" {
+			return
+		}
+		m.sends++
+		ms := m.state(e.Msg)
+		if strings.HasPrefix(e.Detail, "retransmit") {
+			return
+		}
+		ms.freshSends++
+		if ms.freshSends == 1 {
+			ms.firstSendAt = e.At
+			ms.haveSend = true
+			ms.sendRecGen = m.recoveries[senderOf(e.Msg)]
+			m.inflight[e.Msg] = struct{}{}
+		} else if m.recoveries[senderOf(e.Msg)] > ms.sendRecGen {
+			// A fresh (not retransmitted) copy of an already-sent message,
+			// emitted after its sender recovered: the send-sequence
+			// suppression window let a re-executed output escape. If it
+			// also gets delivered, the duplicate is attributed to
+			// re-execution (reexec-output) rather than transport failure.
+			ms.reexecSend = true
+		}
+
+	case trace.KindDeliver:
+		if e.Msg == "" {
+			return
+		}
+		m.deliveries++
+		m.noteProgress(e.At)
+		ms := m.state(e.Msg)
+		ms.delivered++
+		if ms.delivered == 1 && ms.haveSend {
+			m.delivLat.Observe(int64(e.At - ms.firstSendAt))
+		}
+		if ms.delivered > 1+ms.replays && !ms.dupFlagged {
+			ms.dupFlagged = true
+			inv := InvExactlyOnce
+			if ms.reexecSend {
+				inv = InvReexecOutput
+			}
+			m.violate(e.At, inv, e.Msg, "delivered %d with %d replay licenses (to %s)",
+				ms.delivered, ms.replays, e.Subject)
+		}
+
+	case trace.KindPublish:
+		if e.Msg == "" {
+			return
+		}
+		m.publishes++
+		m.noteProgress(e.At)
+		k := arrKey{node: e.Node, proc: e.Subject}
+		if m.arrSeen[k] && e.Seq <= m.arr[k] {
+			m.violate(e.At, InvAcceptanceOrder, e.Msg,
+				"stream %s on node %d: acceptance seq %d after %d", e.Subject, e.Node, e.Seq, m.arr[k])
+		}
+		m.arr[k] = e.Seq
+		m.arrSeen[k] = true
+		m.published[pubKey{proc: e.Subject, msg: e.Msg}] = true
+		ms := m.state(e.Msg)
+		if !ms.inferred && strings.Contains(e.Detail, "inferred from later ack") {
+			ms.inferred = true
+			m.checkInference(e.At, e.Msg, ms)
+		}
+		if ms.haveSend && m.stableLat != nil && m.publishedOnce(ms) {
+			m.stableLat.Observe(int64(e.At - ms.firstSendAt))
+		}
+
+	case trace.KindReplay:
+		if e.Msg == "" {
+			return
+		}
+		m.replays++
+		m.noteProgress(e.At)
+		ms := m.state(e.Msg)
+		ms.replays++
+		pk := pubKey{proc: e.Subject, msg: e.Msg}
+		if !m.published[pk] && !m.basisMiss[pk] {
+			m.basisMiss[pk] = true
+			m.violate(e.At, InvReplayBasis, e.Msg,
+				"replayed to %s but never observed published for that stream", e.Subject)
+		}
+
+	case trace.KindAck:
+		if e.Msg == "" {
+			return
+		}
+		m.acks++
+		m.noteProgress(e.At)
+		delete(m.inflight, e.Msg)
+
+	case trace.KindGiveUp:
+		if e.Msg == "" {
+			return
+		}
+		m.giveups++
+		delete(m.inflight, e.Msg)
+		ms := m.state(e.Msg)
+		if !ms.gaveUp {
+			ms.gaveUp = true
+			m.checkInference(e.At, e.Msg, ms)
+		}
+
+	case trace.KindRecoveryStart:
+		m.recoveries[e.Subject]++
+
+	case trace.KindCrash:
+		if e.Subject == "recorder" {
+			// The recorder's acceptance counters die with it; the rebuilt
+			// database restarts streams from the persisted frontier, so the
+			// monotonicity watermark resets per stream on that node.
+			for k := range m.arrSeen {
+				if k.node == e.Node {
+					delete(m.arrSeen, k)
+					delete(m.arr, k)
+				}
+			}
+		}
+	}
+}
+
+// publishedOnce reports whether this publish is the message's first — the
+// stable-latency observation must not repeat when several recorders (or an
+// inference plus the direct tap) publish the same message.
+func (m *Monitor) publishedOnce(ms *msgState) bool {
+	// state is tracked per message, so count via a dedicated bit.
+	if ms.stableSeen {
+		return false
+	}
+	ms.stableSeen = true
+	return true
+}
+
+// checkInference fires the giveup-inference invariant once both halves of
+// the bad pattern are in: the sender exhausted its retries on this message
+// and the recorder promoted it into the replay basis by inference, with no
+// delivery ever observed. Either order of the two events is caught.
+func (m *Monitor) checkInference(at simtime.Time, id string, ms *msgState) {
+	if ms.gaveUp && ms.inferred && ms.delivered == 0 && !ms.m5Flagged {
+		ms.m5Flagged = true
+		m.violate(at, InvGiveupInference, id,
+			"published by cumulative-ack inference, but the sender gave up and no delivery was ever observed")
+	}
+}
+
+// noteProgress records forward progress at virtual time at.
+func (m *Monitor) noteProgress(at simtime.Time) {
+	m.progress++
+	m.lastProgressAt = at
+	m.stalled = false
+}
+
+// Tick runs one stall-detector check; the cluster schedules it on the
+// virtual clock (twice per window). It reads state and appends diagnostics —
+// it never mutates simulation state, so arming the tick cannot perturb a
+// deterministic run.
+func (m *Monitor) Tick() {
+	now := m.now()
+	if m.progress != m.lastProgress {
+		m.lastProgress = m.progress
+		return
+	}
+	if m.stalled || now-m.lastProgressAt < m.cfg.StallWindow {
+		return
+	}
+	queued, depths := int64(0), ""
+	if m.cfg.QueueProbe != nil {
+		queued, depths = m.cfg.QueueProbe()
+	}
+	if queued == 0 && len(m.inflight) == 0 {
+		return
+	}
+	m.stalled = true
+	ids := make([]string, 0, len(m.inflight))
+	for id := range m.inflight {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if len(ids) > 8 {
+		ids = append(ids[:8], fmt.Sprintf("… (%d total)", len(m.inflight)))
+	}
+	detail := fmt.Sprintf("no forward progress since t=%v (window %v): queued=%d", m.lastProgressAt, m.cfg.StallWindow, queued)
+	if depths != "" {
+		detail += " [" + depths + "]"
+	}
+	if len(ids) > 0 {
+		detail += "; in-flight: " + strings.Join(ids, ", ")
+	}
+	m.stalls = append(m.stalls, Stall{At: now, Detail: detail})
+}
+
+// Violations returns every invariant violation flagged so far, in event
+// order.
+func (m *Monitor) Violations() []Violation {
+	if m == nil {
+		return nil
+	}
+	return m.violations
+}
+
+// Stalls returns the stall diagnostics fired so far.
+func (m *Monitor) Stalls() []Stall {
+	if m == nil {
+		return nil
+	}
+	return m.stalls
+}
+
+// DupViolations counts the violations in the duplicate-delivery family
+// (exactly-once and its reexec-output attribution) — the family the chaos
+// checker's post-quiescence exactly-once invariant must agree with.
+func (m *Monitor) DupViolations() int {
+	n := 0
+	for _, v := range m.Violations() {
+		if v.Invariant == InvExactlyOnce || v.Invariant == InvReexecOutput {
+			n++
+		}
+	}
+	return n
+}
+
+// Passed reports whether no invariant was violated (stalls don't count).
+func (m *Monitor) Passed() bool { return m == nil || len(m.violations) == 0 }
+
+// WriteReport writes the deterministic monitor report: event counts, SLO
+// quantiles, violations, and stall diagnostics. Same seed ⇒ byte-identical
+// report (asserted by tests).
+func (m *Monitor) WriteReport(w io.Writer) error {
+	if m == nil {
+		_, err := fmt.Fprintln(w, "monitor: disabled")
+		return err
+	}
+	fmt.Fprintf(w, "monitor events=%d sends=%d deliveries=%d publishes=%d replays=%d acks=%d giveups=%d\n",
+		m.events, m.sends, m.deliveries, m.publishes, m.replays, m.acks, m.giveups)
+	writeSLO := func(name string, h *metrics.Histogram) {
+		if h.Count() == 0 {
+			fmt.Fprintf(w, "slo %-16s n=0\n", name)
+			return
+		}
+		fmt.Fprintf(w, "slo %-16s p50=%v p99=%v p999=%v n=%d\n", name,
+			simtime.Time(h.Quantile(0.5)), simtime.Time(h.Quantile(0.99)),
+			simtime.Time(h.Quantile(0.999)), h.Count())
+	}
+	if m.delivLat != nil {
+		writeSLO("publish→deliver", m.delivLat)
+		writeSLO("publish→stable", m.stableLat)
+	}
+	fmt.Fprintf(w, "violations=%d\n", len(m.violations))
+	for _, v := range m.violations {
+		fmt.Fprintf(w, "  VIOLATION %s\n", v)
+	}
+	fmt.Fprintf(w, "stalls=%d\n", len(m.stalls))
+	for _, s := range m.stalls {
+		fmt.Fprintf(w, "  %s\n", s)
+	}
+	if _, err := fmt.Fprintf(w, "monitor verdict: %s\n", verdict(len(m.violations))); err != nil {
+		return err
+	}
+	return nil
+}
+
+func verdict(violations int) string {
+	if violations == 0 {
+		return "PASS"
+	}
+	return fmt.Sprintf("FAIL (%d violations)", violations)
+}
+
+// Report returns WriteReport's output as a string.
+func (m *Monitor) Report() string {
+	var b strings.Builder
+	_ = m.WriteReport(&b)
+	return b.String()
+}

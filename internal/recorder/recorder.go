@@ -754,7 +754,9 @@ func (r *Recorder) recordArrival(e *procEntry, sm *storedMsg, format string) {
 	r.publishLat.Observe(int64(r.sched.Now() - sm.SeenAt))
 	r.persistMessage(e, sm)
 	if r.log.Enabled() {
-		r.log.AddMsg(trace.KindPublish, int(r.cfg.Node), sm.ID.String(), e.Proc.String(), format, sm.ArrSeq)
+		// Event.Seq carries the acceptance-order position so online monitors
+		// can check per-stream monotonicity without parsing Detail.
+		r.log.AddMsgSeq(trace.KindPublish, int(r.cfg.Node), sm.ID.String(), e.Proc.String(), sm.ArrSeq, format, sm.ArrSeq)
 	}
 	r.releaseStored(sm)
 }

@@ -68,8 +68,16 @@ func (r *Recorder) armFlushTick() {
 }
 
 // watchTick evaluates last interval's pongs and sends the next pings.
+// Iteration follows cfg.Nodes (sorted at construction), not the watch map:
+// the pings serialize onto the shared medium, so map order here would make
+// same-seed runs diverge (caught by the online monitor's event-stream
+// fingerprints — deliveries shifted by whole frame slots from t=500 ms on).
 func (r *Recorder) watchTick() {
-	for _, w := range r.watch {
+	for _, n := range r.cfg.Nodes {
+		w := r.watch[n]
+		if w == nil {
+			continue
+		}
 		if w.gotPong {
 			w.misses = 0
 			if w.down {

@@ -38,13 +38,14 @@ const (
 	KindSchedule
 	KindControl
 	KindRecorder
+	KindGiveUp
 	KindOther
 )
 
 var kindNames = [...]string{
 	"send", "deliver", "ack", "publish", "checkpoint", "crash", "detect",
 	"recovery-start", "replay", "recovery-done", "drop", "suppress",
-	"collision", "schedule", "control", "recorder", "other",
+	"collision", "schedule", "control", "recorder", "give-up", "other",
 }
 
 // String returns the lowercase name of the kind.
@@ -68,6 +69,10 @@ type Event struct {
 	// that are not message-scoped. It is the causal key: every event
 	// carrying the same Msg belongs to one message's lifetime.
 	Msg string
+	// Seq is an event-kind-specific sequence number: for KindPublish it is
+	// the recorder's acceptance-order position in the destination stream
+	// (the value online monitors check monotonicity of). Zero elsewhere.
+	Seq uint64
 	// Detail is a human-readable explanation.
 	Detail string
 }
@@ -103,6 +108,10 @@ type Log struct {
 	// runs before Detail is formatted (Detail is always "" inside the
 	// filter), so rejected events cost no fmt work.
 	filter func(Event) bool
+	// observer, when non-nil, sees every enabled event — including events
+	// the filter rejects from retention — with Detail formatted. It is the
+	// streaming tap online monitors (internal/monitor) subscribe through.
+	observer func(Event)
 }
 
 // New returns an enabled log reading timestamps from clock.
@@ -123,6 +132,18 @@ func (l *Log) SetSink(w io.Writer) {
 func (l *Log) SetFilter(f func(Event) bool) {
 	if l != nil {
 		l.filter = f
+	}
+}
+
+// SetObserver installs (or, with nil, removes) a streaming observer. The
+// observer is called synchronously for every event recorded while the log is
+// enabled — before the retention filter, so a CLI filter cannot blind a
+// monitor — with Detail already formatted. Observers must not re-enter the
+// log. A disabled log calls no observer: disabling tracing disables
+// observation too, keeping the hot path's disabled cost at one branch.
+func (l *Log) SetObserver(f func(Event)) {
+	if l != nil {
+		l.observer = f
 	}
 }
 
@@ -186,32 +207,47 @@ func (l *Log) Dropped() uint64 {
 
 // Add records an event.
 func (l *Log) Add(kind Kind, node int, subject, format string, args ...any) {
-	l.record(kind, node, "", subject, format, args...)
+	l.record(kind, node, "", subject, 0, format, args...)
 }
 
 // AddMsg records an event about one particular message: msg is the
 // message's id, the causal key exporters group a message's lifetime by.
 func (l *Log) AddMsg(kind Kind, node int, msg, subject, format string, args ...any) {
-	l.record(kind, node, msg, subject, format, args...)
+	l.record(kind, node, msg, subject, 0, format, args...)
 }
 
-func (l *Log) record(kind Kind, node int, msg, subject, format string, args ...any) {
+// AddMsgSeq is AddMsg with an event sequence number (Event.Seq) attached —
+// the recorder stamps KindPublish events with their acceptance-order
+// position through this.
+func (l *Log) AddMsgSeq(kind Kind, node int, msg, subject string, seq uint64, format string, args ...any) {
+	l.record(kind, node, msg, subject, seq, format, args...)
+}
+
+func (l *Log) record(kind Kind, node int, msg, subject string, seq uint64, format string, args ...any) {
 	if l == nil || !l.enabled {
 		return
 	}
-	e := Event{Kind: kind, Node: node, Subject: subject, Msg: msg}
+	e := Event{Kind: kind, Node: node, Subject: subject, Msg: msg, Seq: seq}
 	if l.clock != nil {
 		e.At = l.clock()
 	}
 	// The filter runs before Detail exists, so a rejected event never pays
-	// for formatting.
-	if l.filter != nil && !l.filter(e) {
+	// for formatting — unless an observer is installed, which must see the
+	// formatted event whatever the retention filter decides.
+	keep := l.filter == nil || l.filter(e)
+	if !keep && l.observer == nil {
 		return
 	}
 	if len(args) == 0 {
 		e.Detail = format
 	} else {
 		e.Detail = fmt.Sprintf(format, args...)
+	}
+	if l.observer != nil {
+		l.observer(e)
+	}
+	if !keep {
+		return
 	}
 	l.append(e)
 	if l.sink != nil {

@@ -228,7 +228,7 @@ func TestKindStrings(t *testing.T) {
 		KindReplay: "replay", KindRecoveryDone: "recovery-done",
 		KindDrop: "drop", KindSuppress: "suppress", KindCollision: "collision",
 		KindSchedule: "schedule", KindControl: "control", KindRecorder: "recorder",
-		KindOther: "other",
+		KindGiveUp: "give-up", KindOther: "other",
 	}
 	for k, want := range names {
 		if k.String() != want {

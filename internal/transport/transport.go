@@ -781,9 +781,12 @@ func (e *Endpoint) retransmit(fl *flight) {
 	}
 	if exhausted {
 		// Give up; the crash-detection machinery owns this situation now.
+		// KindGiveUp (not a generic drop) because retry exhaustion is the
+		// premise the recorder's cumulative-ack inference must not cross —
+		// internal/monitor keys its giveup-inference invariant off it.
 		e.stats.GaveUp++
 		id := fl.f.ID.String()
-		e.log.AddMsg(trace.KindDrop, int(e.node), id, id,
+		e.log.AddMsg(trace.KindGiveUp, int(e.node), id, id,
 			"gave up after %d attempts", fl.attempts)
 		e.finish(fl.f)
 		if e.OnGiveUp != nil {

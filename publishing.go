@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"strings"
 
 	"publishing/internal/checkpoint"
 	"publishing/internal/debugger"
@@ -41,6 +42,7 @@ import (
 	"publishing/internal/frame"
 	"publishing/internal/lan"
 	"publishing/internal/metrics"
+	"publishing/internal/monitor"
 	"publishing/internal/recorder"
 	"publishing/internal/simtime"
 	"publishing/internal/stablestore"
@@ -189,6 +191,20 @@ type Config struct {
 	// FlightRecorder, when > 0, bounds the trace log to the most recent
 	// events (ring buffer), so long runs keep the tail without growing.
 	FlightRecorder int
+
+	// Monitor attaches the online invariant monitor (internal/monitor) to
+	// the trace stream: acceptance-order monotonicity, exactly-once
+	// delivery, replay-basis coverage, re-executed-output and
+	// give-up/inference checks, publish→deliver / publish→stable SLO
+	// histograms, and a stall detector — each violation flagged at the
+	// virtual time of the violating event. Enabling the monitor turns on
+	// detailed tracing (per-record replay events are part of the checked
+	// stream); it does not force retention — pair with FlightRecorder to
+	// bound memory on long monitored runs.
+	Monitor bool
+	// MonitorStallWindow overrides the stall detector's virtual window
+	// (0 = monitor.DefaultStallWindow).
+	MonitorStallWindow simtime.Time
 }
 
 // DefaultConfig returns a publishing-enabled cluster of n nodes on a
@@ -231,6 +247,7 @@ type Cluster struct {
 	mets  *metrics.Registry
 	med   lan.Medium
 	reg   *demos.Registry
+	mon   *monitor.Monitor
 
 	kernels map[NodeID]*demos.Kernel
 	recs    []*recorder.Recorder
@@ -324,6 +341,9 @@ func New(cfg Config) *Cluster {
 			id = NodeID(i + nRecs) // skip the recorder ids
 		}
 		c.kernels[id] = demos.NewKernel(id, env)
+	}
+	if cfg.Monitor {
+		c.attachMonitor()
 	}
 
 	if cfg.Publishing {
@@ -428,6 +448,50 @@ func (c *Cluster) bootSystemProcs() {
 		panic(err)
 	}
 	c.SetService("procmgr", pm)
+}
+
+// attachMonitor wires the online invariant monitor into the trace stream and
+// arms its stall tick. Monitoring needs the detailed event stream (per-record
+// replay licenses must precede the deliveries they license), so it turns
+// detailed tracing on; event retention is unaffected.
+func (c *Cluster) attachMonitor() {
+	nodes := make([]NodeID, 0, len(c.kernels))
+	for id := range c.kernels {
+		nodes = append(nodes, id)
+	}
+	sortNodes(nodes)
+	probe := func() (int64, string) {
+		var total int64
+		var b strings.Builder
+		for _, id := range nodes {
+			v := c.mets.Gauge(int(id), "kernel", "queue_depth").Value()
+			total += v
+			if v > 0 {
+				if b.Len() > 0 {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "n%d=%d", id, v)
+			}
+		}
+		return total, b.String()
+	}
+	c.mon = monitor.New(monitor.Config{
+		StallWindow: c.cfg.MonitorStallWindow,
+		QueueProbe:  probe,
+		Metrics:     c.mets,
+	}, c.sched.Now)
+	c.log.SetDetailed(true)
+	c.log.SetObserver(c.mon.Observe)
+	// Check for stalls twice per window so a pause is caught within 1.5
+	// windows of its start. The tick only reads state, so arming it cannot
+	// perturb an otherwise-identical run.
+	half := c.mon.StallWindow() / 2
+	var tick func()
+	tick = func() {
+		c.mon.Tick()
+		c.sched.After(half, tick)
+	}
+	c.sched.After(half, tick)
 }
 
 func (c *Cluster) armCheckpointTick() {
@@ -549,6 +613,10 @@ func (c *Cluster) Trace() *trace.Log { return c.log }
 // Metrics returns the cluster's metrics registry: every subsystem's
 // counters, gauges, and histograms, keyed by (node, subsystem, name).
 func (c *Cluster) Metrics() *metrics.Registry { return c.mets }
+
+// Monitor returns the online invariant monitor, or nil unless Config.Monitor
+// was set.
+func (c *Cluster) Monitor() *monitor.Monitor { return c.mon }
 
 // Store returns the primary recorder's stable store (nil when publishing
 // is off).

@@ -28,7 +28,7 @@ const scaleNodes = 256
 // the recorder's stable-store database record by record.
 func runScaleFingerprint(t *testing.T) (metricsText, storeDump []byte) {
 	t.Helper()
-	s := buildSimCluster(scaleNodes, simClusterSeed)
+	s := buildSimCluster(scaleNodes, simClusterSeed, false)
 	s.c.Run(s.horizon + 2*simtime.Second)
 	if got, want := *s.delivered, int64(s.sent); got != want {
 		t.Fatalf("delivered %d of %d messages", got, want)
