@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race monitor sweep-verify chaos fuzz bench bench-json bench-recovery bench-transport bench-store bench-sim scale-smoke sweep
+.PHONY: check vet build test race monitor sweep-verify chaos shards fuzz bench bench-json bench-recovery bench-transport bench-store bench-sim bench-recorder scale-smoke sweep
 
-check: vet build test race monitor sweep-verify chaos fuzz scale-smoke bench-transport bench-store bench-sim
+check: vet build test race monitor sweep-verify chaos shards fuzz scale-smoke bench-transport bench-store bench-sim bench-recorder
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,16 @@ monitor:
 # t.Parallel, so the sweep doubles as a race test of the whole stack.
 chaos:
 	$(GO) test -race -run 'TestChaos' -count=1 .
+
+# The sharded replicated recorder path, race-checked: shard-map determinism
+# and rebalance-minimality, follower promotion mid-replay, the sharded chaos
+# baselines (replay-basis-union invariant, mid-handoff recorder crash), and
+# the sharded monitor-passivity fingerprint. The recorders run on the
+# single-threaded simulated clock, but the chaos harness drives baseline and
+# faulted clusters on real goroutines, so -race has teeth here too.
+shards:
+	$(GO) test -race ./internal/recorder
+	$(GO) test -race -run 'TestShardMap|TestFollowerPromotion|TestChaosSharded|TestMonitorPassivitySharded|TestMultiRec' -count=1 .
 
 # Time-boxed native fuzzing of the three wire codecs (frame, replay batch,
 # chaos schedule). Long exploratory runs are manual (`go test -fuzz X
@@ -102,6 +112,20 @@ else
 	{ $(GO) test -bench BenchmarkStoreMillionAppend -benchtime 100000x -run '^$$' . ; \
 	  $(GO) test -bench 'BenchmarkStoreTruncate|BenchmarkStoreReopen' -benchtime 5x -run '^$$' . ; } \
 		| $(GO) run ./cmd/benchjson
+endif
+
+# The recorder-availability trajectory: the 64-node crash->recovered cycle
+# against the classic single recorder vs the sharded replicated trio —
+# virtual recovery window plus the record count on the replay-serving
+# recorder (the whole database vs the worker-shard leader's partition). The
+# default (check-time) run re-measures and prints the snapshot without
+# touching the committed BENCH_recorder.json; regenerate with
+# `make bench-recorder OUT=BENCH_recorder.json` after deleting the old file.
+bench-recorder:
+ifdef OUT
+	$(GO) test -bench 'BenchmarkRecoverySingleRecorder64|BenchmarkRecoveryShardUnion64' -benchtime 2x -run '^$$' . | $(GO) run ./cmd/benchjson -o $(OUT) recovery from the shard union vs the single-recorder funnel at 64 nodes
+else
+	$(GO) test -bench 'BenchmarkRecoverySingleRecorder64|BenchmarkRecoveryShardUnion64' -benchtime 2x -run '^$$' . | $(GO) run ./cmd/benchjson
 endif
 
 # The big-cluster simulator-throughput trajectory: events per wall second

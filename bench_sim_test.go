@@ -90,8 +90,10 @@ func runSimCluster(nodes int, seed uint64, monitored bool) simClusterResult {
 	}
 }
 
-// buildSimCluster assembles the scenario without running it.
-func buildSimCluster(nodes int, seed uint64, monitored bool) *simCluster {
+// buildSimCluster assembles the scenario without running it. Optional
+// mutators adjust the config after the standard scenario knobs are set
+// (e.g. the sharded-recorder passivity test turns on the recorder trio).
+func buildSimCluster(nodes int, seed uint64, monitored bool, mutate ...func(*publishing.Config)) *simCluster {
 	wcfg := simClusterScale(nodes)
 	wcfg.Seed = seed
 	events := workload.Msgs(wcfg, 8*nodes)
@@ -116,6 +118,9 @@ func buildSimCluster(nodes int, seed uint64, monitored bool) *simCluster {
 	if monitored {
 		cfg.Monitor = true
 		cfg.FlightRecorder = 4096
+	}
+	for _, m := range mutate {
+		m(&cfg)
 	}
 	c := publishing.New(cfg)
 	if !monitored {

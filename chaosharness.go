@@ -41,6 +41,14 @@ type ChaosOptions struct {
 	// stable store instead of the thesis-exact paged default, so fault
 	// schedules (including store-write faults) exercise both engines.
 	SegmentStore bool
+	// Recorders, when > 1, runs that many recorders; with ShardSlots it
+	// turns on the sharded recorder configuration (leader/follower replica
+	// pairs per shard slot), arming the checker's replay-basis-union
+	// invariant and making KindHandoffCrash faults meaningful.
+	Recorders int
+	// ShardSlots is the shard table size for sharded runs (needs
+	// Recorders >= 2; see Config.ShardSlots).
+	ShardSlots int
 }
 
 // chaosWorkerBound is the recovery-time bound the Checkpoint option sets.
@@ -162,6 +170,10 @@ func ChaosScenario(seed uint64, opt ChaosOptions) chaos.Scenario {
 	if opt.SegmentStore {
 		cfg.Store.Backend = stablestore.BackendSegment
 	}
+	if opt.Recorders > 0 {
+		cfg.Recorders = opt.Recorders
+	}
+	cfg.ShardSlots = opt.ShardSlots
 	// Every chaos run carries the online invariant monitor, so the checker
 	// can cross-check its streaming verdict against the post-quiescence
 	// invariants (and so violations come stamped with the virtual time the
@@ -232,14 +244,26 @@ func ChaosBuild(opt ChaosOptions) chaos.BuildFunc {
 
 // ChaosSeedVariant derives per-seed option diversity for sweeps: a third of
 // seeds run with the checkpoint-bound policy armed (exercising chunked
-// checkpoint transfer and the bounded-recovery invariant), half run on the
-// segmented stable store, and media rotate through the sweep so every LAN
-// simulation faces schedules.
+// checkpoint transfer and the bounded-recovery invariant), a third run the
+// sharded replicated recorder trio (arming replay-basis-union and making
+// handoff-crash faults bite; a sparse extra rotation overlaps sharding with
+// the checkpoint seeds so the combination is covered too), half run on the
+// segmented stable store, media rotate through the sweep so every LAN
+// simulation faces schedules, and cluster sizes rotate 3/4/8/16/64 so fault
+// schedules hit the gated-station and dense-table paths at every width the
+// fast paths specialize for.
 func ChaosSeedVariant(seed uint64) ChaosOptions {
 	opt := ChaosOptions{}
 	switch seed % 3 {
 	case 1:
 		opt.Checkpoint = true
+	case 2:
+		opt.Recorders = 3
+		opt.ShardSlots = 16
+	}
+	if seed%7 == 1 {
+		opt.Recorders = 3
+		opt.ShardSlots = 16
 	}
 	opt.SegmentStore = seed%2 == 0
 	switch seed % 4 {
@@ -249,6 +273,16 @@ func ChaosSeedVariant(seed uint64) ChaosOptions {
 		opt.Medium = MediumAckEther
 	case 3:
 		opt.Medium = MediumStar
+	}
+	switch seed % 5 {
+	case 1:
+		opt.Nodes = 4
+	case 2:
+		opt.Nodes = 8
+	case 3:
+		opt.Nodes = 16
+	case 4:
+		opt.Nodes = 64
 	}
 	return opt
 }

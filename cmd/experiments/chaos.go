@@ -54,7 +54,8 @@ func runChaos(start uint64, n int, artifactDir string) {
 			verdict = "FAIL"
 			failed++
 		}
-		fmt.Printf("  seed %-4d %-4s %d faults  %s\n", r.seed, verdict, len(r.sched.Faults), r.sched.Hex())
+		fmt.Printf("  seed %-4d %-4s %d faults  [%s]  %s\n",
+			r.seed, verdict, len(r.sched.Faults), variantTag(publishing.ChaosSeedVariant(r.seed)), r.sched.Hex())
 	}
 	if failed == 0 {
 		fmt.Printf("  all %d schedules passed every invariant\n", n)
@@ -74,4 +75,29 @@ func runChaos(start uint64, n int, artifactDir string) {
 	}
 	fmt.Fprintf(os.Stderr, "chaos: %d/%d schedules failed\n", failed, len(rows))
 	os.Exit(1)
+}
+
+// variantTag compacts one seed's ChaosSeedVariant into a sweep-row note:
+// cluster width, LAN medium, and which option rotations are armed — the
+// checkpoint-bound policy, the sharded replicated recorder trio, the
+// segmented stable store.
+func variantTag(opt publishing.ChaosOptions) string {
+	n := opt.Nodes
+	if n < 3 {
+		n = 3
+	}
+	tag := fmt.Sprintf("n=%d", n)
+	if opt.Medium != "" {
+		tag += " " + string(opt.Medium)
+	}
+	if opt.Checkpoint {
+		tag += " ckpt"
+	}
+	if opt.Recorders > 1 {
+		tag += fmt.Sprintf(" shard%dx%d", opt.Recorders, opt.ShardSlots)
+	}
+	if opt.SegmentStore {
+		tag += " seg"
+	}
+	return tag
 }

@@ -83,6 +83,52 @@ func Apply(sys System, s Schedule, tg Targets) {
 					_ = sys.RestartRecorderAt(0)
 				}
 			})
+		case KindHandoffCrash:
+			nRecs := 0
+			for sys.RecorderAt(nRecs) != nil {
+				nRecs++
+			}
+			if nRecs < 2 {
+				// Degenerate cluster: behave like a recorder outage so the
+				// fault still exercises something on classic scenarios.
+				sys.Scheduler().At(at, func() {
+					if r := sys.RecorderAt(0); r != nil && !r.Crashed() {
+						sys.CrashRecorderAt(0)
+					}
+				})
+				sys.Scheduler().At(end, func() {
+					if r := sys.RecorderAt(0); r != nil && r.Crashed() {
+						_ = sys.RestartRecorderAt(0)
+					}
+				})
+				break
+			}
+			victim := int(f.A) % nRecs
+			partner := (victim + 1) % nRecs
+			chunks := 1 + int(f.B)%3
+			sys.Scheduler().At(at, func() {
+				if r := sys.RecorderAt(victim); r != nil && !r.Crashed() {
+					sys.CrashRecorderAt(victim)
+				}
+			})
+			// Halfway through, arm the surviving partner to kill itself a few
+			// chunks into serving the victim's catch-up handoff, then restart
+			// the victim so that handoff actually starts.
+			sys.Scheduler().At(at+f.Dur()/2, func() {
+				if r := sys.RecorderAt(partner); r != nil && !r.Crashed() {
+					r.ArmHandoffCrash(chunks)
+				}
+				if r := sys.RecorderAt(victim); r != nil && r.Crashed() {
+					_ = sys.RestartRecorderAt(victim)
+				}
+			})
+			sys.Scheduler().At(end, func() {
+				for i := 0; i < nRecs; i++ {
+					if r := sys.RecorderAt(i); r != nil && r.Crashed() {
+						_ = sys.RestartRecorderAt(i)
+					}
+				}
+			})
 		case KindPartition:
 			if n, ok := pick(tg.PartNodes, f.A); ok {
 				group := 1 + i // distinct per fault so overlaps stay separate

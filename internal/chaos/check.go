@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 
+	"publishing/internal/frame"
 	"publishing/internal/monitor"
+	"publishing/internal/recorder"
 	"publishing/internal/simtime"
 	"publishing/internal/trace"
 )
@@ -283,6 +285,94 @@ func Check(sys System, s Schedule, faulted, baseline RunOutcome, cfg CheckConfig
 		ok("quiescent-queues", "all zero")
 	}
 
+	// I8 replay-basis-union (sharded recorder clusters only): after
+	// quiescence, every live stream's shard must have a live replica, a live
+	// replica on recovery duty, and every replica on duty must hold the best
+	// basis any live replica has — coverage here is the checkpointed-read
+	// count plus recorded arrivals, the same total order the handoff protocol
+	// ships by. Together these say the union of the shards is a complete
+	// replay basis: no recorder crash (mid-handoff included) left a slot
+	// whose only competent copy is dead or whose acting copy is stale.
+	sharded := false
+	if ssys, isSh := sys.(interface{ ShardMap() *recorder.ShardMap }); isSh && ssys.ShardMap() != nil {
+		sharded = true
+		sm := ssys.ShardMap()
+		var recList []*recorder.Recorder
+		for i := 0; sys.RecorderAt(i) != nil; i++ {
+			recList = append(recList, sys.RecorderAt(i))
+		}
+		procSet := map[frame.ProcID]bool{}
+		for _, r := range recList {
+			if !r.Crashed() {
+				for _, p := range r.KnownProcs() {
+					procSet[p] = true
+				}
+			}
+		}
+		procs := make([]frame.ProcID, 0, len(procSet))
+		for p := range procSet {
+			procs = append(procs, p)
+		}
+		sort.Slice(procs, func(i, j int) bool {
+			if procs[i].Node != procs[j].Node {
+				return procs[i].Node < procs[j].Node
+			}
+			return procs[i].Local < procs[j].Local
+		})
+		var holes []string
+		checked := 0
+		for _, p := range procs {
+			slot := sm.ShardOf(p)
+			type rep struct {
+				rank   int
+				acting bool
+				sum    recorder.BasisSummary
+			}
+			var reps []rep
+			var maxCov uint64
+			dead := false
+			for _, rank := range []int{sm.Leader(slot), sm.Follower(slot)} {
+				if rank < 0 || rank >= len(recList) || recList[rank].Crashed() {
+					continue
+				}
+				sum := recList[rank].Basis(p)
+				if sum.Dead {
+					dead = true
+				}
+				if sum.Cov() > maxCov {
+					maxCov = sum.Cov()
+				}
+				reps = append(reps, rep{rank: rank, acting: recList[rank].ActsFor(slot), sum: sum})
+			}
+			if dead {
+				continue // dead streams are not recovered, so not part of the basis
+			}
+			checked++
+			acting := 0
+			for _, r := range reps {
+				if !r.acting {
+					continue
+				}
+				acting++
+				if r.sum.Cov() < maxCov {
+					holes = append(holes, fmt.Sprintf("%v slot %d: acting rec%d coverage %d behind best %d",
+						p, slot, r.rank, r.sum.Cov(), maxCov))
+				}
+			}
+			switch {
+			case len(reps) == 0:
+				holes = append(holes, fmt.Sprintf("%v slot %d: no live replica", p, slot))
+			case acting == 0:
+				holes = append(holes, fmt.Sprintf("%v slot %d: no live replica on recovery duty", p, slot))
+			}
+		}
+		if len(holes) > 0 {
+			violate("replay-basis-union", "%s", capList(holes, 5))
+		} else {
+			ok("replay-basis-union", "streams=%d slots=%d recorders=%d", checked, sm.Slots(), len(recList))
+		}
+	}
+
 	// M online-monitor cross-check: when the system runs the online invariant
 	// monitor (internal/monitor), its streaming duplicate-delivery verdict
 	// must agree with I1's post-quiescence count — flagged online at the
@@ -313,7 +403,7 @@ func Check(sys System, s Schedule, faulted, baseline RunOutcome, cfg CheckConfig
 	}
 
 	if len(res.Violations) == 0 {
-		fmt.Fprintf(&b, "PASS %d invariants\n", 6+boolToInt(cfg.RecoveryBound > 0)+boolToInt(hasMon))
+		fmt.Fprintf(&b, "PASS %d invariants\n", 6+boolToInt(cfg.RecoveryBound > 0)+boolToInt(hasMon)+boolToInt(sharded))
 	} else {
 		fmt.Fprintf(&b, "FAIL %d violation(s)\n", len(res.Violations))
 	}

@@ -64,8 +64,15 @@ const (
 	// KindLinkLoss drops frames on one directed link
 	// Targets.LinkNodes[A] -> Targets.LinkNodes[B] for Dur.
 	KindLinkLoss
+	// KindHandoffCrash crashes recorder A%len(recorders) at At, then at
+	// At+Dur/2 arms its shard-handoff partner to crash itself mid-transfer
+	// (after 1+B%3 chunks) and restarts the first victim — so the restart's
+	// handoff pull dies partway through and the requester must fall back to
+	// its local basis. Crashed recorders are restarted at At+Dur. On clusters
+	// without at least two recorders it degrades to a recorder outage.
+	KindHandoffCrash
 
-	kindMax = KindLinkLoss
+	kindMax = KindHandoffCrash
 )
 
 var kindNames = map[Kind]string{
@@ -81,6 +88,7 @@ var kindNames = map[Kind]string{
 	KindAckSlotBurst:   "ackslot-burst",
 	KindStoreFailBurst: "storefail-burst",
 	KindLinkLoss:       "link-loss",
+	KindHandoffCrash:   "handoff-crash",
 }
 
 func (k Kind) String() string {
@@ -117,7 +125,7 @@ func probCap(k Kind) float64 {
 // items).
 func maxDurMs(k Kind) uint32 {
 	switch k {
-	case KindRecorderOutage:
+	case KindRecorderOutage, KindHandoffCrash:
 		return 2500
 	case KindPartition:
 		return 2000
@@ -157,6 +165,8 @@ func (f Fault) String() string {
 		return fmt.Sprintf("%s at=%dms a=%d", f.Kind, f.AtMs, f.A)
 	case f.Kind == KindRecorderOutage:
 		return fmt.Sprintf("%s at=%dms dur=%dms", f.Kind, f.AtMs, f.DurMs)
+	case f.Kind == KindHandoffCrash:
+		return fmt.Sprintf("%s at=%dms dur=%dms a=%d b=%d", f.Kind, f.AtMs, f.DurMs, f.A, f.B)
 	case f.Kind == KindPartition:
 		return fmt.Sprintf("%s at=%dms dur=%dms a=%d", f.Kind, f.AtMs, f.DurMs, f.A)
 	case f.Kind == KindLinkLoss:
@@ -352,10 +362,11 @@ func Generate(seed uint64, lim Limits) Schedule {
 			B:    uint8(rng.Intn(256)),
 			Prob: uint8(64 + rng.Intn(192)), // strong enough to matter
 		}
-		if f.Kind == KindRecorderOutage {
-			// At most two outages per schedule: each suspends all guaranteed
-			// traffic for its whole duration, and stacking many makes the
-			// run boringly serial rather than adversarial.
+		if f.Kind == KindRecorderOutage || f.Kind == KindHandoffCrash {
+			// At most two recorder-downing faults per schedule: each suspends
+			// guaranteed traffic (all of it, or its shards') for its whole
+			// duration, and stacking many makes the run boringly serial
+			// rather than adversarial.
 			if outages >= 2 {
 				f.Kind = KindLossBurst
 			} else {

@@ -62,6 +62,18 @@ type Tap interface {
 	Observe(f *frame.Frame) bool
 }
 
+// VotingTap is an optional Tap extension for sharded recorders: ObserveVote
+// returns both the stored verdict and whether this tap's verdict should count
+// toward the medium's publish gate at all. A sharded recorder abstains
+// (voting=false) on frames whose streams it does not replicate — the owning
+// recorders' verdicts alone gate the frame, so a shard's availability is a
+// property of its replicas, not of every recorder on the wire. Plain Taps
+// always vote.
+type VotingTap interface {
+	Tap
+	ObserveVote(f *frame.Frame) (stored, voting bool)
+}
+
 // Medium is a broadcast network.
 type Medium interface {
 	// Attach registers a station under a node id. Attaching twice replaces
@@ -407,34 +419,55 @@ func (b *base) UseMetrics(reg *metrics.Registry) {
 }
 
 // offerToTaps lets every reachable tap observe the frame and reports
-// whether all reachable taps stored it and at least one tap is reachable.
-// Down or partitioned-away taps are excused — with multiple recorders the
-// survivors supply the missing acknowledgements (§6.3); with a single
-// recorder down, nothing is reachable and the frame blocks. With no taps
-// attached at all it returns true (publishing disabled; nothing to wait
+// whether all reachable voting taps stored it and at least one voting tap is
+// reachable. Down or partitioned-away taps are excused — with multiple
+// recorders the survivors supply the missing acknowledgements (§6.3); with a
+// single recorder down, nothing is reachable and the frame blocks. With no
+// taps attached at all it returns true (publishing disabled; nothing to wait
 // for).
+//
+// Sharded recorders attach as VotingTaps and abstain on frames outside
+// their shards: an abstaining tap still hears the frame (it may carry
+// piggybacked acks for streams it does own) but its verdict neither blocks
+// nor satisfies the publish gate — availability of a stream is a property of
+// its shard's replicas. A tap-miss fault hit is charged before the vote is
+// known (same rng draw order as the classic path) and conservatively counts
+// as a voting failure.
 func (b *base) offerToTaps(src frame.NodeID, f *frame.Frame) bool {
 	if len(b.taps) == 0 {
 		return true
 	}
-	anyAlive := false
+	anyVoter := false
 	allStored := true
 	for _, e := range b.taps {
 		if !b.faults.reachable(src, e.id) {
 			continue
 		}
-		anyAlive = true
 		if b.faults.TapMissProb > 0 && b.rng.Bool(b.faults.TapMissProb) {
 			b.stats.TapMisses++
+			anyVoter = true
 			allStored = false
 			continue
 		}
+		if vt, ok := e.tap.(VotingTap); ok {
+			stored, voting := vt.ObserveVote(f)
+			if !voting {
+				continue
+			}
+			anyVoter = true
+			if !stored {
+				b.stats.TapMisses++
+				allStored = false
+			}
+			continue
+		}
+		anyVoter = true
 		if !e.tap.Observe(f) {
 			b.stats.TapMisses++
 			allStored = false
 		}
 	}
-	ok := anyAlive && allStored
+	ok := anyVoter && allStored
 	// Ack-slot interference: the recorder stored the frame, but the slot
 	// carrying its acknowledgement is garbled, so receivers must treat the
 	// frame as unpublished. The retransmit lands on the recorder's duplicate

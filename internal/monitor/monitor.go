@@ -48,6 +48,7 @@ const (
 	InvReplayBasis     = "replay-basis"
 	InvReexecOutput    = "reexec-output"
 	InvGiveupInference = "giveup-inference"
+	InvShardOwnership  = "shard-ownership"
 )
 
 // Config tunes a Monitor.
@@ -63,6 +64,14 @@ type Config struct {
 	// Metrics, when set, receives the SLO latency histograms (node -1,
 	// subsystem "monitor").
 	Metrics *metrics.Registry
+	// ShardOwner, when set (sharded recorder clusters), reports whether the
+	// given node may act — replay, start or finish a recovery — on the given
+	// process stream. The cluster wires it to the shard map: recorder nodes
+	// answer per their replica set, every other node is unconstrained. A
+	// false answer is the shard-ownership violation: a recorder touching a
+	// stream outside its shards means the union invariant no longer bounds
+	// what any one recorder's loss can take down.
+	ShardOwner func(node int, proc string) bool
 }
 
 // DefaultStallWindow is the stall detector's default virtual window.
@@ -141,6 +150,7 @@ type Monitor struct {
 	basisMiss  map[pubKey]bool
 	recoveries map[string]int
 	inflight   map[string]struct{}
+	ownFlagged map[arrKey]bool
 
 	violations []Violation
 	stalls     []Stall
@@ -173,6 +183,7 @@ func New(cfg Config, now func() simtime.Time) *Monitor {
 		basisMiss:  make(map[pubKey]bool),
 		recoveries: make(map[string]int),
 		inflight:   make(map[string]struct{}),
+		ownFlagged: make(map[arrKey]bool),
 	}
 	if cfg.Metrics != nil {
 		m.delivLat = cfg.Metrics.Histogram(-1, "monitor", "deliver_latency_ns")
@@ -282,6 +293,10 @@ func (m *Monitor) Observe(e trace.Event) {
 
 	case trace.KindReplay:
 		if e.Msg == "" {
+			// Batch-level replay events (no message id) come from the
+			// recorder driving the transfer; per-record events carry ids and
+			// come from the receiving kernel, which owns no shards.
+			m.checkOwnership(e)
 			return
 		}
 		m.replays++
@@ -316,7 +331,11 @@ func (m *Monitor) Observe(e trace.Event) {
 		}
 
 	case trace.KindRecoveryStart:
+		m.checkOwnership(e)
 		m.recoveries[e.Subject]++
+
+	case trace.KindRecoveryDone:
+		m.checkOwnership(e)
 
 	case trace.KindCrash:
 		if e.Subject == "recorder" {
@@ -343,6 +362,22 @@ func (m *Monitor) publishedOnce(ms *msgState) bool {
 	}
 	ms.stableSeen = true
 	return true
+}
+
+// checkOwnership fires the shard-ownership invariant when a node acts on a
+// stream outside its shard replica set (sharded clusters only; flagged once
+// per node/stream pair so one confused recorder doesn't flood the report).
+func (m *Monitor) checkOwnership(e trace.Event) {
+	if m.cfg.ShardOwner == nil || m.cfg.ShardOwner(e.Node, e.Subject) {
+		return
+	}
+	k := arrKey{node: e.Node, proc: e.Subject}
+	if m.ownFlagged[k] {
+		return
+	}
+	m.ownFlagged[k] = true
+	m.violate(e.At, InvShardOwnership, "",
+		"node %d acted on stream %s outside its shard replica set", e.Node, e.Subject)
 }
 
 // checkInference fires the giveup-inference invariant once both halves of

@@ -156,6 +156,13 @@ type Config struct {
 	ClaimTimeout simtime.Time
 	NoticeProcs  []frame.ProcID
 
+	// Shards, when non-nil, puts the recorder in sharded mode: it records
+	// (and gates, votes on, and recovers) only the process streams whose
+	// shard slots it replicates per the map, acting as leader or follower
+	// per slot. All recorders of a cluster share one read-only map. Nil is
+	// the classic §6.3 mode — every recorder records everything.
+	Shards *ShardMap
+
 	// Metrics, when non-nil, receives the recorder's counters (subsystem
 	// "recorder"), the stable store's (subsystem "store"), the publish
 	// latency histogram, and the replay window occupancy gauge.
@@ -200,6 +207,16 @@ type Stats struct {
 	MissedArrivals      uint64
 	StoreFailures       uint64
 	PublishCPU          simtime.Time
+
+	// Sharded-mode counters: follower promotions on a dead leader's slots,
+	// shard-handoff sessions completed after a restart, and the handoff
+	// transfer volume (streams shipped by the serving side, chunks on the
+	// wire, streams adopted wholesale by the requester).
+	FollowerPromotions  uint64
+	HandoffsCompleted   uint64
+	HandoffProcsShipped uint64
+	HandoffChunksSent   uint64
+	HandoffProcsAdopted uint64
 }
 
 // storedMsg is one published message in a process's stream.
@@ -251,6 +268,14 @@ type procEntry struct {
 	CkStateKB   int
 	BaseReads   uint64
 	LastCkAt    simtime.Time
+	// trimDebt counts messages a past checkpoint reported consumed whose
+	// records had not yet reached us when it was applied (a tap miss makes a
+	// publish land late, inferred from an ack). Their records arrive after
+	// that checkpoint, so the next trim must reach this much deeper or the
+	// stream keeps an already-read message and replay duplicates it. Kept in
+	// memory only: a rebuilt recorder starts at zero, which merely retains
+	// conservatively.
+	trimDebt uint64
 
 	Rev        uint64 // meta revision for stable storage
 	Recovering bool
@@ -294,6 +319,24 @@ type Recorder struct {
 	// §6.3 restart catch-up state.
 	catchingUp bool
 	awaitCk    map[frame.ProcID]bool
+
+	// Sharded-mode state (cfg.Shards non-nil). peerWatch runs a watchdog per
+	// peer recorder rank; actingSlots marks the leader slots this follower
+	// has promoted itself on; handoffPending marks partner ranks a restarted
+	// peer is mid-handoff with (the partner keeps acting until Commit).
+	// handoffs holds this recorder's own outbound handoff sessions (it is
+	// the restarted requester); handoffRx assembles inbound transfer chunks.
+	// handoffCrashAfter, when > 0, is the chaos hook: crash this recorder
+	// after serving that many more transfer chunks (mid-handoff crash).
+	peerWatch         map[int]*watchState
+	actingSlots       map[int]bool
+	handoffPending    map[int]bool
+	handoffs          map[int]*handoffSession
+	handoffRx         map[uint32]*handoffAssembly
+	handoffCrashAfter int
+	// voteScratch is the voting path's bundle-decode buffer, separate from
+	// recScratch so ObserveVote's pre-decode cannot clobber the store path's.
+	voteScratch []frame.BundleRec
 	// noticeSeen dedups notices consumed off the wire (other recorders'
 	// deliveries; the tap sees every retransmission).
 	noticeSeen genSet
@@ -352,6 +395,13 @@ func New(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log
 		noticeSeen:  newGenSet(noticeSeenLimit),
 		nextCode:    1,
 	}
+	if cfg.Shards != nil {
+		r.peerWatch = make(map[int]*watchState)
+		r.actingSlots = make(map[int]bool)
+		r.handoffPending = make(map[int]bool)
+		r.handoffs = make(map[int]*handoffSession)
+		r.handoffRx = make(map[uint32]*handoffAssembly)
+	}
 	r.ep = transport.New(cfg.Node, med, sched, log, tcfg)
 	r.ep.Deliver = r.deliver
 	med.AttachTap(cfg.Node, r)
@@ -381,6 +431,11 @@ func New(cfg Config, sched *simtime.Scheduler, rng *simtime.Rand, log *trace.Log
 			emit("missed_arrivals", int64(s.MissedArrivals))
 			emit("store_failures", int64(s.StoreFailures))
 			emit("publish_cpu_ns", int64(s.PublishCPU))
+			emit("follower_promotions", int64(s.FollowerPromotions))
+			emit("handoffs_completed", int64(s.HandoffsCompleted))
+			emit("handoff_procs_shipped", int64(s.HandoffProcsShipped))
+			emit("handoff_chunks_sent", int64(s.HandoffChunksSent))
+			emit("handoff_procs_adopted", int64(s.HandoffProcsAdopted))
 		})
 		reg.AddCollector(node, "store", func(emit func(string, int64)) {
 			ss := r.store.Stats()
@@ -519,15 +574,28 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 	r.stats.MessagesSeen++
 	r.stats.PublishCPU += r.cfg.Mode.PerMessageCPU()
 
-	if r.cfg.EmitRecorderAcks {
+	if r.cfg.EmitRecorderAcks && (r.cfg.Shards == nil || r.ownsProc(f.To)) {
 		// Transport-level publish-before-use (§6.1): receivers hold the
 		// frame until this acknowledgement. Emission waits out the publish
 		// processing time, so ModeNaive recorders visibly slow the system.
+		// Sharded mode: only a stream's owners acknowledge it (duplicate
+		// acks from the two replicas release the same held frame once).
 		r.queueRecorderAck(f.ID)
 	}
 
 	if f.To == r.cfg.Proc {
 		return // bookkeeping traffic to the recorder itself is not a stream
+	}
+	if f.Channel == chanPeer || r.isNoticeProc(f.From) {
+		// Recorder-originated traffic: peer arbitration and handoff frames,
+		// control requests, replay batches. None of it belongs to a process
+		// stream. Recording a peer's replay batch or checkpoint request as an
+		// arrival of its destination would feed it back into the next
+		// recovery as application traffic, and a handoff chunk would gob-
+		// decode as a plausible-looking notice (peerMsg and demos.Notice
+		// share field names) and corrupt the basis. A lone recorder never
+		// taps its own sends, so only multi-recorder clusters see these.
+		return
 	}
 	if r.isNoticeProc(f.To) {
 		// A kernel notice addressed to another recorder: every recorder
@@ -543,8 +611,9 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 	}
 
 	// Track the highest message id each published process has sent — the
-	// future suppression threshold (§4.5).
-	if f.From.Local != 0 { // kernel processes are not replayed
+	// future suppression threshold (§4.5). In sharded mode only the sender's
+	// owners track it (they replay the sender, so they set the threshold).
+	if f.From.Local != 0 && (r.cfg.Shards == nil || r.ownsProc(f.From)) { // kernel processes are not replayed
 		if e := r.db[f.From]; e != nil && !e.Dead {
 			if f.ID.Seq > e.LastSent {
 				e.LastSent = f.ID.Seq
@@ -557,6 +626,9 @@ func (r *Recorder) observeMessage(f *frame.Frame) {
 		}
 	}
 
+	if r.cfg.Shards != nil && !r.ownsProc(f.To) {
+		return // another shard's stream; its replicas record the arrival
+	}
 	if e := r.db[f.To]; e != nil {
 		if e.Dead || e.have[f.ID] {
 			return // dead destination or retransmission of an arrival
@@ -697,6 +769,11 @@ func (r *Recorder) observeAckRecord(id frame.MsgID, rcv frame.ProcID) {
 	if !ok {
 		return // duplicate ack, untracked message, or our own traffic
 	}
+	if r.cfg.Shards != nil && !r.ownsProc(rcv) {
+		delete(r.pending, id)
+		r.recycleStored(sm)
+		return // another shard's arrival
+	}
 	e := r.db[rcv]
 	if e == nil {
 		// Accepted before the destination's creation notice arrived:
@@ -797,6 +874,13 @@ func (r *Recorder) handleNotice(n *demos.Notice) {
 	r.stats.Notices++
 	switch n.Kind {
 	case demos.NoticeCreated:
+		if r.cfg.Shards != nil && !r.ownsProc(n.Proc) {
+			// Another shard's stream: never enters this database, so the
+			// recovery, catch-up, and query paths skip it automatically.
+			delete(r.preArrivals, n.Proc)
+			delete(r.preLastSent, n.Proc)
+			return
+		}
 		e := r.db[n.Proc]
 		if e == nil {
 			e = &procEntry{Proc: n.Proc, have: make(map[frame.MsgID]bool)}
@@ -897,6 +981,13 @@ func (r *Recorder) handleNotice(n *demos.Notice) {
 // gaps from its own downtime (§6.3 catch-up). It reports whether the
 // recorder could supply every queued message from its own records.
 func (r *Recorder) applyCheckpoint(e *procEntry, n *demos.Notice) (complete bool) {
+	if n.ReadCount < e.BaseReads {
+		// A checkpoint from before the basis we already hold. Notices are
+		// guaranteed messages, so one emitted before a recorder outage can be
+		// retransmitted long after newer checkpoints landed; readCount is
+		// monotonic per stream, so applying it would regress the basis.
+		return true
+	}
 	byID := make(map[frame.MsgID]storedMsg, len(e.Arrivals))
 	for _, sm := range e.Arrivals {
 		byID[sm.ID] = sm
@@ -919,18 +1010,24 @@ func (r *Recorder) applyCheckpoint(e *procEntry, n *demos.Notice) (complete bool
 	// basis forever. Trim exactly the consumed prefix of the read-order
 	// stream; keep the in-flight tail behind the queued messages (queue
 	// FIFO: a later arrival is read after everything queued now).
-	consumed := n.ReadCount - e.BaseReads
+	consumed := n.ReadCount - e.BaseReads + e.trimDebt
 	var trimmed []storedMsg
-	for i, sm := range reconstruct(e.Arrivals, e.Advisories) {
+	idx := uint64(0)
+	for _, sm := range reconstruct(e.Arrivals, e.Advisories) {
 		if _, unqueued := byID[sm.ID]; !unqueued {
 			continue // retained above, in queue order
 		}
-		if uint64(i) < consumed {
+		if idx < consumed {
 			trimmed = append(trimmed, sm)
 		} else {
 			retained = append(retained, sm)
 		}
+		idx++
 	}
+	// Reads the checkpoint vouches for but we could not trim are messages
+	// whose records are still on their way (see trimDebt); their late records
+	// extend the next checkpoint's consumed prefix.
+	e.trimDebt = consumed - uint64(len(trimmed))
 	e.Arrivals = retained
 	e.Advisories = nil
 	e.BaseReads = n.ReadCount

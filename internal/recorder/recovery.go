@@ -29,6 +29,7 @@ func (r *Recorder) Start() {
 			r.watch[n] = &watchState{node: n}
 		}
 	}
+	r.initPeerWatch()
 	r.armWatchTick()
 	r.armFlushTick()
 }
@@ -106,14 +107,31 @@ func (r *Recorder) watchTick() {
 			Body: demos.PingBody,
 		})
 	}
+	r.tickPeerWatch()
 }
 
 func (r *Recorder) handlePong(f *frame.Frame) {
-	if len(f.Body) == 0 || f.Body[0] != demos.PongBody[0] {
+	if len(f.Body) == 0 {
+		return
+	}
+	if len(f.Body) == 1 && f.Body[0] == demos.PingBody[0] {
+		// Sharded recorders watch each other; answer the peer's ping the way
+		// kernels answer ours. Classic recorders are never pinged.
+		if r.cfg.Shards != nil {
+			r.ep.SendUnguaranteed(&frame.Frame{Dst: f.Src, From: r.cfg.Proc, To: f.From, Body: demos.PongBody})
+		}
+		return
+	}
+	if f.Body[0] != demos.PongBody[0] {
 		return
 	}
 	if w, ok := r.watch[f.Src]; ok {
 		w.gotPong = true
+	}
+	for _, w := range r.peerWatch {
+		if w.node == f.Src {
+			w.gotPong = true
+		}
 	}
 }
 
@@ -125,6 +143,14 @@ func (r *Recorder) processorCrash(w *watchState) {
 	w.down = true
 	r.stats.ProcessorCrashes++
 	r.log.Add(trace.KindDetect, int(r.cfg.Node), nodeSubject(w.node), "processor crash detected by watchdog")
+	if r.cfg.Shards != nil {
+		// Sharded mode: duty is per shard, not per node, so there is nothing
+		// to arbitrate — every recorder acts and startRecovery's ActsFor
+		// guard filters the node's processes to this recorder's slots.
+		w.responsible = true
+		r.actOnCrash(w)
+		return
+	}
 	r.arbitrate(w)
 }
 
@@ -192,9 +218,19 @@ func (r *Recorder) startRecovery(e *procEntry, target frame.NodeID) {
 	if e.Dead {
 		return
 	}
+	if r.cfg.Shards != nil && !r.ActsFor(r.cfg.Shards.ShardOf(e.Proc)) {
+		return // another replica holds this shard's recovery duty
+	}
 	rp := r.recovering[e.Proc]
 	if rp == nil {
 		rp = &recoveryProc{proc: e.Proc}
+		if r.cfg.Shards != nil {
+			// Salt the generation by rank so two replicas recovering the same
+			// process during a handoff overlap can never collide on a
+			// generation number: the kernel's exact-generation batch guard
+			// then drops the superseded replica's replay cleanly.
+			rp.gen = uint64(r.cfg.Rank+1) << 32
+		}
 		r.recovering[e.Proc] = rp
 	}
 	// A relaunch supersedes any in-flight replay of the previous attempt:
@@ -360,6 +396,16 @@ func (r *Recorder) Crash() {
 	for _, w := range r.watch {
 		w.gotPong, w.misses = false, 0
 	}
+	if r.cfg.Shards != nil {
+		r.actingSlots = make(map[int]bool)
+		r.handoffPending = make(map[int]bool)
+		r.handoffs = make(map[int]*handoffSession)
+		r.handoffRx = make(map[uint32]*handoffAssembly)
+		r.handoffCrashAfter = 0
+		for _, w := range r.peerWatch {
+			w.gotPong, w.misses, w.down = false, 0, false
+		}
+	}
 	r.ep.Reset()
 	r.med.Faults().SetDown(r.cfg.Node, true)
 	r.log.Add(trace.KindCrash, int(r.cfg.Node), "recorder", "recorder crash")
@@ -383,6 +429,7 @@ func (r *Recorder) Restart() error {
 	r.sendSeq = 0
 	r.Start()
 	r.beginCatchUp()
+	r.beginHandoff()
 	r.log.Add(trace.KindRecorder, int(r.cfg.Node), "recorder", "restart #%d; querying %d nodes", r.restartNumber, len(r.cfg.Nodes))
 	for _, n := range r.cfg.Nodes {
 		n := n

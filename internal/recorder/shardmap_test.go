@@ -1,0 +1,125 @@
+package recorder
+
+import (
+	"testing"
+
+	"publishing/internal/frame"
+)
+
+// TestShardMapDeterminism is the satellite's table: same seed and recorder
+// set ⇒ byte-identical ownership, different seeds ⇒ (almost surely)
+// different ownership, and the structural guarantees every caller leans on —
+// leader ≠ follower, ranks in range, single-recorder maps have no follower.
+func TestShardMapDeterminism(t *testing.T) {
+	cases := []struct {
+		name        string
+		seed        uint64
+		recs, slots int
+	}{
+		{"two-recs", 1, 2, 16},
+		{"three-recs", 7, 3, 16},
+		{"five-recs", 42, 5, 64},
+		{"single-rec", 9, 1, 16},
+		{"more-recs-than-slots", 3, 8, 4},
+		{"seed-zero", 0, 3, 16},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewShardMap(tc.seed, tc.recs, tc.slots)
+			b := NewShardMap(tc.seed, tc.recs, tc.slots)
+			if a.Fingerprint() != b.Fingerprint() {
+				t.Fatalf("same seed produced different maps:\n%s\nvs\n%s", a.Fingerprint(), b.Fingerprint())
+			}
+			for s := 0; s < a.Slots(); s++ {
+				l, f := a.Leader(s), a.Follower(s)
+				if l < 0 || l >= tc.recs {
+					t.Fatalf("slot %d: leader %d out of range [0,%d)", s, l, tc.recs)
+				}
+				switch {
+				case tc.recs < 2:
+					if f != -1 {
+						t.Fatalf("slot %d: single-recorder map has follower %d", s, f)
+					}
+				default:
+					if f < 0 || f >= tc.recs {
+						t.Fatalf("slot %d: follower %d out of range [0,%d)", s, f, tc.recs)
+					}
+					if f == l {
+						t.Fatalf("slot %d: leader and follower are both rank %d", s, l)
+					}
+				}
+				if !a.Replicates(l, s) || (f >= 0 && !a.Replicates(f, s)) {
+					t.Fatalf("slot %d: Replicates disagrees with Leader/Follower", s)
+				}
+			}
+			// A different seed must not reproduce the table (16+ slots make a
+			// collision astronomically unlikely; the fixed cases here don't).
+			if tc.slots >= 16 {
+				c := NewShardMap(tc.seed+1, tc.recs, tc.slots)
+				if c.Fingerprint() == a.Fingerprint() {
+					t.Fatalf("seed %d and %d produced identical maps", tc.seed, tc.seed+1)
+				}
+			}
+		})
+	}
+}
+
+// TestShardMapStreamHashStable pins ShardOf: stable across calls, in range,
+// and sensitive to both halves of the process identity.
+func TestShardMapStreamHashStable(t *testing.T) {
+	m := NewShardMap(7, 3, 16)
+	seen := map[int]bool{}
+	for node := 0; node < 8; node++ {
+		for local := uint32(0); local < 8; local++ {
+			p := frame.ProcID{Node: frame.NodeID(node), Local: local}
+			s := m.ShardOf(p)
+			if s < 0 || s >= m.Slots() {
+				t.Fatalf("ShardOf(%v) = %d out of range", p, s)
+			}
+			if s != m.ShardOf(p) {
+				t.Fatalf("ShardOf(%v) unstable", p)
+			}
+			seen[s] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("64 distinct streams landed in %d slot(s); hash is degenerate", len(seen))
+	}
+}
+
+// TestShardMapRebalance is the rendezvous-hashing property the handoff
+// protocol depends on: growing the recorder set from n to n+1 moves a slot's
+// leadership only to the new recorder — no slot changes hands between
+// survivors — and every slot's new replica set is a subset of the old one
+// plus the new rank.
+func TestShardMapRebalance(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 1234567} {
+		for n := 2; n <= 6; n++ {
+			old := NewShardMap(seed, n, 64)
+			grown := NewShardMap(seed, n+1, 64)
+			moved := 0
+			for s := 0; s < 64; s++ {
+				if grown.Leader(s) != old.Leader(s) {
+					if grown.Leader(s) != n {
+						t.Fatalf("seed=%d n=%d slot %d: leadership moved %d → %d, not to the new rank %d",
+							seed, n, s, old.Leader(s), grown.Leader(s), n)
+					}
+					moved++
+				}
+				oldSet := map[int]bool{old.Leader(s): true, old.Follower(s): true}
+				for _, r := range []int{grown.Leader(s), grown.Follower(s)} {
+					if r != n && !oldSet[r] {
+						t.Fatalf("seed=%d n=%d slot %d: replica set gained survivor rank %d (old %d/%d, new %d/%d)",
+							seed, n, s, r, old.Leader(s), old.Follower(s), grown.Leader(s), grown.Follower(s))
+					}
+				}
+			}
+			// The new recorder should actually win something at these sizes
+			// (expected 64/(n+1) slots).
+			if moved == 0 {
+				t.Fatalf("seed=%d n=%d: new recorder won no slots", seed, n)
+			}
+		}
+	}
+}

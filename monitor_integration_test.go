@@ -130,3 +130,49 @@ func TestMonitorPassivity(t *testing.T) {
 		t.Fatalf("recorder databases differ between monitored and bare runs (%d vs %d bytes)", len(on), len(off))
 	}
 }
+
+// TestMonitorPassivitySharded re-pins the no-perturbation contract on the
+// sharded replicated recorder path: the 64-node scenario run on the recorder
+// trio (three recorders, sixteen shard slots) with the monitor on and off
+// must end with byte-identical databases on every replica. Sharding adds
+// recorder-to-recorder traffic — peer arbitration, watchdog pings, handoff —
+// that the classic passivity test never exercises, so observation leaking
+// into any of it would split these fingerprints.
+func TestMonitorPassivitySharded(t *testing.T) {
+	sharded := func(cfg *publishing.Config) {
+		cfg.Recorders = 3
+		cfg.ShardSlots = 16
+	}
+	dump := func(monitored bool) []byte {
+		s := buildSimCluster(64, simClusterSeed, monitored, sharded)
+		s.c.Run(s.horizon + 2*simtime.Second)
+		if got, want := *s.delivered, int64(s.sent); got != want {
+			t.Fatalf("monitored=%v: delivered %d of %d messages", monitored, got, want)
+		}
+		if monitored {
+			mon := s.c.Monitor()
+			if mon == nil {
+				t.Fatal("monitored cluster has no monitor")
+			}
+			if !mon.Passed() {
+				t.Fatalf("fault-free sharded run violated online invariants:\n%s", mon.Report())
+			}
+		}
+		var buf bytes.Buffer
+		for rank := 0; rank < s.c.Recorders(); rank++ {
+			recs, err := s.c.StoreAt(rank).ReadAll()
+			if err != nil {
+				t.Fatalf("recorder %d store: %v", rank, err)
+			}
+			fmt.Fprintf(&buf, "-- recorder %d\n", rank)
+			for _, r := range recs {
+				fmt.Fprintf(&buf, "%d %q %d %x\n", r.Kind, r.Key, r.Seq, r.Data)
+			}
+		}
+		return buf.Bytes()
+	}
+	on, off := dump(true), dump(false)
+	if !bytes.Equal(on, off) {
+		t.Fatalf("sharded recorder databases differ between monitored and bare runs (%d vs %d bytes)", len(on), len(off))
+	}
+}

@@ -135,6 +135,14 @@ type Config struct {
 	// Recorders is the number of recorders (§6.3 multiple recorders);
 	// values < 1 mean one.
 	Recorders int
+	// ShardSlots, when > 0 with at least two recorders, runs the recorder
+	// set sharded: process streams hash into this many shard slots, each
+	// owned by a leader recorder and mirrored by one follower per the
+	// seed-stable rendezvous map (recorder.ShardMap). Each recorder then
+	// records, gates, and recovers only its own slots; the system replay
+	// basis is the union of the shards. 0 is the classic §6.3 mode in which
+	// every recorder records everything.
+	ShardSlots int
 	// Medium selects the LAN simulation.
 	Medium MediumKind
 	// Seed drives every random stream; same seed, same execution.
@@ -252,6 +260,7 @@ type Cluster struct {
 	kernels map[NodeID]*demos.Kernel
 	recs    []*recorder.Recorder
 	stores  []stablestore.Store
+	shards  *recorder.ShardMap
 	// services mirrors servicesShared for read access; servicesShared is
 	// the map instance every kernel holds a reference to.
 	services       map[string]ProcID
@@ -288,6 +297,9 @@ func New(cfg Config) *Cluster {
 		nRecs = 0
 	}
 	recNode := NodeID(cfg.Nodes)
+	if cfg.ShardSlots > 0 && nRecs >= 2 {
+		c.shards = recorder.NewShardMap(cfg.Seed, nRecs, cfg.ShardSlots)
+	}
 	switch cfg.Medium {
 	case MediumEther:
 		c.med = lan.NewEther(cfg.LAN, c.sched, c.rng.Fork(), c.log)
@@ -365,7 +377,11 @@ func New(cfg Config) *Cluster {
 			rcfg := recorder.DefaultConfig(NodeID(cfg.Nodes+i), watched)
 			rcfg.Metrics = c.mets
 			rcfg.Mode = cfg.RecorderMode
-			rcfg.EmitRecorderAcks = tcfg.NeedRecorderAck && i == 0
+			// Classic mode: rank 0 acknowledges for everyone (they all hold
+			// every message anyway). Sharded mode: each stream's owners
+			// acknowledge it, so every recorder emits for its own slots.
+			rcfg.EmitRecorderAcks = tcfg.NeedRecorderAck && (c.shards != nil || i == 0)
+			rcfg.Shards = c.shards
 			rcfg.FlushEveryMessage = cfg.FlushEveryMessage
 			if cfg.WatchInterval > 0 {
 				rcfg.WatchInterval = cfg.WatchInterval
@@ -475,10 +491,27 @@ func (c *Cluster) attachMonitor() {
 		}
 		return total, b.String()
 	}
+	var shardOwner func(node int, proc string) bool
+	if c.shards != nil {
+		nNodes, shards := c.cfg.Nodes, c.shards
+		shardOwner = func(node int, proc string) bool {
+			rank := node - nNodes
+			if rank < 0 || rank >= shards.Recorders() {
+				return true // processing nodes own no shards; unconstrained
+			}
+			var pn, pl int
+			if n, err := fmt.Sscanf(proc, "p%d.%d", &pn, &pl); err != nil || n != 2 {
+				return true // not a process stream (e.g. "recorder" crash events)
+			}
+			p := frame.ProcID{Node: frame.NodeID(pn), Local: uint32(pl)}
+			return shards.Replicates(rank, shards.ShardOf(p))
+		}
+	}
 	c.mon = monitor.New(monitor.Config{
 		StallWindow: c.cfg.MonitorStallWindow,
 		QueueProbe:  probe,
 		Metrics:     c.mets,
+		ShardOwner:  shardOwner,
 	}, c.sched.Now)
 	c.log.SetDetailed(true)
 	c.log.SetObserver(c.mon.Observe)
@@ -604,6 +637,10 @@ func (c *Cluster) RecorderAt(i int) *recorder.Recorder {
 // Recorders returns how many recorders the cluster runs.
 func (c *Cluster) Recorders() int { return len(c.recs) }
 
+// ShardMap returns the sharded-recorder ownership map, or nil when the
+// cluster runs the classic all-recorders-record-everything mode.
+func (c *Cluster) ShardMap() *recorder.ShardMap { return c.shards }
+
 // Medium returns the LAN.
 func (c *Cluster) Medium() lan.Medium { return c.med }
 
@@ -625,6 +662,15 @@ func (c *Cluster) Store() stablestore.Store {
 		return nil
 	}
 	return c.stores[0]
+}
+
+// StoreAt returns recorder rank i's stable store, or nil if out of range —
+// multi-recorder fingerprint tests dump every replica's database.
+func (c *Cluster) StoreAt(i int) stablestore.Store {
+	if i < 0 || i >= len(c.stores) {
+		return nil
+	}
+	return c.stores[i]
 }
 
 // --- Fault injection --------------------------------------------------------
