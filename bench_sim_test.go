@@ -17,6 +17,7 @@ package publishing_test
 import (
 	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -47,10 +48,22 @@ func simClusterScale(nodes int) workload.Config {
 	if hot < 1 {
 		hot = 1
 	}
+	// The aggregate arrival rate tops out at the 256-node figure. The
+	// modeled 100 Mb/s LAN serializes a data frame in ~60 µs, so 10·N
+	// arrivals/s at fan-out 2 crosses channel saturation (utilization > 1)
+	// between 256 and 1024 nodes — an open-loop overload whose queues grow
+	// without bound and that no drain window clears. Holding the channel at
+	// the 256-node operating point (~0.31 data-frame utilization) lets node
+	// count stress the simulator rather than the modeled queue; the
+	// utilization arithmetic is worked in EXPERIMENTS.md.
+	rate := 10 * float64(nodes)
+	if nodes > 256 {
+		rate = 10 * 256
+	}
 	return workload.Config{
 		Seed:     simClusterSeed,
 		Procs:    nodes,
-		Rate:     10 * float64(nodes),
+		Rate:     rate,
 		Hotspot:  0.2,
 		HotProcs: hot,
 		MsgBytes: 96,
@@ -75,15 +88,15 @@ type simCluster struct {
 // With monitored set, the run instead carries the full online-observability
 // stack: tracing on (bounded by a flight-recorder ring) with the invariant
 // monitor subscribed — the overhead the monitored benchmark variant prices.
-func runSimCluster(nodes int, seed uint64, monitored bool) simClusterResult {
-	s := buildSimCluster(nodes, seed, monitored)
+func runSimCluster(nodes int, seed uint64, monitored bool, mutate ...func(*publishing.Config)) simClusterResult {
+	s := buildSimCluster(nodes, seed, monitored, mutate...)
 	start := time.Now()
 	// The horizon is the last arrival plus a drain window for retransmits,
 	// delayed acks, and recorder publishing to quiesce.
 	s.c.Run(s.horizon + 2*simtime.Second)
 	return simClusterResult{
 		sent:      s.sent,
-		delivered: *s.delivered,
+		delivered: atomic.LoadInt64(s.delivered),
 		fired:     s.c.Scheduler().Fired(),
 		virtual:   s.c.Now(),
 		wall:      time.Since(start),
@@ -115,6 +128,18 @@ func buildSimCluster(nodes int, seed uint64, monitored bool, mutate ...func(*pub
 	// what this scenario stresses.
 	cfg.LAN.BitsPerSecond = 100_000_000
 	cfg.LAN.InterframeGap = 50 * simtime.Microsecond
+	if nodes > 256 {
+		// Past 256 nodes even the fast LAN saturates — not on data frames
+		// (the arrival rate is capped, see simClusterScale) but on per-node
+		// background traffic: the 50 µs interframe gap bounds the channel at
+		// ~16.6k frames/s, and 1024 nodes' watchdog pings plus delayed-ack
+		// flushes alone approach that ceiling during the burst, which shows
+		// up as a spurious-retransmit storm. Model a switched 1 Gb/s fabric
+		// (5 µs gap, ~160k frames/s) so utilization drops back to ~0.1; the
+		// arithmetic is worked in EXPERIMENTS.md.
+		cfg.LAN.BitsPerSecond = 1_000_000_000
+		cfg.LAN.InterframeGap = 5 * simtime.Microsecond
+	}
 	if monitored {
 		cfg.Monitor = true
 		cfg.FlightRecorder = 4096
@@ -189,7 +214,10 @@ type simSink struct {
 func (s *simSink) Init(ctx *publishing.PCtx) {}
 func (s *simSink) Handle(ctx *publishing.PCtx, m publishing.Msg) {
 	s.n++
-	*s.delivered++
+	// The shared scenario counter is the one piece of cross-node test state:
+	// sinks on different nodes may run concurrently inside a parallel
+	// window, so the increment must be atomic (the sum is order-free).
+	atomic.AddInt64(s.delivered, 1)
 }
 func (s *simSink) Snapshot() ([]byte, error) {
 	var b [8]byte
@@ -202,11 +230,26 @@ func (s *simSink) Restore(b []byte) error {
 }
 
 // BenchmarkSimThroughput is the tentpole metric of the big-cluster work:
-// simulator hot-loop throughput at 8, 64, and 256 nodes.
+// simulator hot-loop throughput at 8, 64, 256, and 1024 nodes.
 func BenchmarkSimThroughput(b *testing.B) {
-	for _, nodes := range []int{8, 64, 256} {
+	for _, nodes := range []int{8, 64, 256, 1024} {
 		b.Run(fmt.Sprintf("%dnodes", nodes), func(b *testing.B) {
 			benchSimCluster(b, nodes, false)
+		})
+	}
+}
+
+// BenchmarkSimThroughputParallel is the same scenario on the conservative
+// parallel engine (Config.ParWorkers = 4): the before/after pair against
+// BenchmarkSimThroughput is what BENCH_sim.json records. Speedup scales
+// with both the host's cores and the window occupancy — see the queuing
+// analysis in EXPERIMENTS.md for what to expect at a given load.
+func BenchmarkSimThroughputParallel(b *testing.B) {
+	for _, nodes := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("%dnodes", nodes), func(b *testing.B) {
+			benchSimCluster(b, nodes, false, func(cfg *publishing.Config) {
+				cfg.ParWorkers = 4
+			})
 		})
 	}
 }
@@ -221,13 +264,13 @@ func BenchmarkSimThroughputMonitored(b *testing.B) {
 	})
 }
 
-func benchSimCluster(b *testing.B, nodes int, monitored bool) {
+func benchSimCluster(b *testing.B, nodes int, monitored bool, mutate ...func(*publishing.Config)) {
 	b.ReportAllocs()
 	var fired uint64
 	var wall time.Duration
 	var virtual simtime.Time
 	for i := 0; i < b.N; i++ {
-		r := runSimCluster(nodes, simClusterSeed, monitored)
+		r := runSimCluster(nodes, simClusterSeed, monitored, mutate...)
 		if r.delivered != int64(r.sent) {
 			b.Fatalf("delivered %d of %d messages", r.delivered, r.sent)
 		}

@@ -1,0 +1,206 @@
+package main
+
+// The -par mode: run the big-cluster workload scenario (the same shape
+// BenchmarkSimThroughput drives, see bench_sim_test.go) once on the serial
+// engine and once on the conservative parallel engine, print the throughput
+// of each with the engine's window statistics, and verify the two runs'
+// metrics + recorder-database fingerprints are byte-identical — the
+// determinism demo EXPERIMENTS.md walks through.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"publishing"
+	"publishing/internal/simtime"
+	"publishing/internal/workload"
+)
+
+// parScenario is one built workload scenario awaiting Run.
+type parScenario struct {
+	c         *publishing.Cluster
+	horizon   simtime.Time
+	sent      int
+	delivered *int64
+}
+
+// buildParScenario assembles the floodsub-style open-loop workload on an
+// n-node cluster: every arrival is a guaranteed fan-out publication through
+// the full stack. Mirrors the benchmark scenario in bench_sim_test.go.
+func buildParScenario(nodes int, seed uint64, par int) *parScenario {
+	hot := nodes / 16
+	if hot < 1 {
+		hot = 1
+	}
+	// Same scaling rules as the benchmark: the aggregate arrival rate tops
+	// out at the 256-node figure so the channel stays below saturation.
+	rate := 10 * float64(nodes)
+	if nodes > 256 {
+		rate = 10 * 256
+	}
+	wcfg := workload.Config{
+		Seed:     seed,
+		Procs:    nodes,
+		Rate:     rate,
+		Hotspot:  0.2,
+		HotProcs: hot,
+		MsgBytes: 96,
+		FanOut:   2,
+	}
+	events := workload.Msgs(wcfg, 8*nodes)
+	scheds := make([][]workload.MsgEvent, nodes)
+	horizon := simtime.Time(0)
+	sent := 0
+	for _, ev := range events {
+		scheds[ev.Pub] = append(scheds[ev.Pub], ev)
+		sent += len(ev.Subs)
+		if ev.At > horizon {
+			horizon = ev.At
+		}
+	}
+
+	cfg := publishing.DefaultConfig(nodes)
+	cfg.Seed = seed
+	cfg.LAN.BitsPerSecond = 100_000_000
+	cfg.LAN.InterframeGap = 50 * simtime.Microsecond
+	if nodes > 256 {
+		// Past 256 nodes per-node background traffic alone saturates the
+		// gap-bound 100 Mb/s channel; model a switched 1 Gb/s fabric as the
+		// benchmark does (the utilization check in EXPERIMENTS.md).
+		cfg.LAN.BitsPerSecond = 1_000_000_000
+		cfg.LAN.InterframeGap = 5 * simtime.Microsecond
+	}
+	cfg.ParWorkers = par
+	c := publishing.New(cfg)
+	c.Trace().Enable(false)
+
+	delivered := new(int64)
+	c.Registry().RegisterMachine("sink", func([]byte) publishing.Machine {
+		return &parSink{delivered: delivered}
+	})
+	sinkNames := make([]string, nodes)
+	for i := range sinkNames {
+		sinkNames[i] = fmt.Sprintf("sink%d", i)
+	}
+	body := make([]byte, wcfg.MsgBytes)
+	c.Registry().RegisterProgram("pub", func(args []byte) publishing.Program {
+		sched := scheds[binary.BigEndian.Uint32(args)]
+		return func(ctx *publishing.PCtx) {
+			links := make([]publishing.LinkID, nodes)
+			have := make([]bool, nodes)
+			last := simtime.Time(0)
+			for _, ev := range sched {
+				if d := ev.At - last; d > 0 {
+					ctx.Compute(d)
+				}
+				last = ev.At
+				for _, sub := range ev.Subs {
+					if !have[sub] {
+						l, err := ctx.ServiceLink(sinkNames[sub])
+						if err != nil {
+							panic(err)
+						}
+						links[sub], have[sub] = l, true
+					}
+					_ = ctx.Send(links[sub], body, publishing.NoLink)
+				}
+			}
+		}
+	})
+	for i := 0; i < nodes; i++ {
+		pid, err := c.Spawn(publishing.NodeID(i), publishing.ProcSpec{Name: "sink", Recoverable: true})
+		if err != nil {
+			panic(err)
+		}
+		c.SetService(sinkNames[i], pid)
+	}
+	for i := 0; i < nodes; i++ {
+		var args [4]byte
+		binary.BigEndian.PutUint32(args[:], uint32(i))
+		if _, err := c.Spawn(publishing.NodeID(i), publishing.ProcSpec{Name: "pub", Args: args[:], Recoverable: true}); err != nil {
+			panic(err)
+		}
+	}
+	return &parScenario{c: c, horizon: horizon, sent: sent, delivered: delivered}
+}
+
+type parSink struct{ delivered *int64 }
+
+func (s *parSink) Init(*publishing.PCtx) {}
+func (s *parSink) Handle(_ *publishing.PCtx, m publishing.Msg) {
+	atomic.AddInt64(s.delivered, 1)
+}
+func (s *parSink) Snapshot() ([]byte, error) { return nil, nil }
+func (s *parSink) Restore([]byte) error      { return nil }
+
+// parFingerprint reduces a finished run to its determinism oracle: the full
+// metrics snapshot plus the recorder database, hashed.
+func parFingerprint(c *publishing.Cluster) ([32]byte, error) {
+	var buf bytes.Buffer
+	if err := c.Metrics().Snapshot().WriteText(&buf); err != nil {
+		return [32]byte{}, err
+	}
+	recs, err := c.Store().ReadAll()
+	if err != nil {
+		return [32]byte{}, err
+	}
+	for _, r := range recs {
+		fmt.Fprintf(&buf, "%d %q %d %x\n", r.Kind, r.Key, r.Seq, r.Data)
+	}
+	return sha256.Sum256(buf.Bytes()), nil
+}
+
+// runPar executes the scenario serially and with par in-cluster workers,
+// reporting throughput, window statistics, and fingerprint equality.
+func runPar(nodes int, par int, seed uint64) {
+	section(fmt.Sprintf("conservative parallel simulation — %d nodes, %d workers", nodes, par))
+	type leg struct {
+		name    string
+		workers int
+	}
+	var sums [2][32]byte
+	for i, l := range []leg{{"serial", 0}, {"parallel", par}} {
+		s := buildParScenario(nodes, seed, l.workers)
+		start := time.Now()
+		s.c.Run(s.horizon + 2*simtime.Second)
+		wall := time.Since(start)
+		if got := atomic.LoadInt64(s.delivered); got != int64(s.sent) {
+			fmt.Printf("  %s: delivered %d of %d messages — scenario broken\n", l.name, got, s.sent)
+			return
+		}
+		sum, err := parFingerprint(s.c)
+		if err != nil {
+			fmt.Printf("  %s: fingerprint failed: %v\n", l.name, err)
+			return
+		}
+		sums[i] = sum
+		fired := s.c.Scheduler().Fired()
+		fmt.Printf("  %-8s %9d events in %8.2fs wall  →  %9.0f events/s   fp %x…\n",
+			l.name, fired, wall.Seconds(), float64(fired)/wall.Seconds(), sum[:6])
+		if eng := s.c.Engine(); eng != nil {
+			st := eng.Stats()
+			winEvents := st.InlineEvents + st.ParEvents
+			fmt.Printf("           windows: %d solo/inline (%d events), %d multi-LP (%d events, %.1f LPs avg), %d serial steps\n",
+				st.InlineWindows, st.InlineEvents, st.ParWindows, st.ParEvents,
+				float64(st.ParLPs)/max1(float64(st.ParWindows)), st.SerialSteps)
+			fmt.Printf("           window occupancy: %.1f%% of events ran inside windows\n",
+				100*float64(winEvents)/max1(float64(winEvents+st.SerialSteps)))
+		}
+	}
+	if sums[0] == sums[1] {
+		fmt.Println("  byte-identical: yes — serial and parallel runs produced the same metrics and recorder database")
+	} else {
+		fmt.Println("  byte-identical: NO — determinism violation, file a bug")
+	}
+}
+
+func max1(v float64) float64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}

@@ -13,7 +13,7 @@ import (
 
 // Env bundles the shared plumbing a kernel runs on.
 type Env struct {
-	Sched    *simtime.Scheduler
+	Sched    simtime.Clock
 	Rng      *simtime.Rand
 	Log      *trace.Log
 	Registry *Registry

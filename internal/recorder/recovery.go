@@ -36,7 +36,11 @@ func (r *Recorder) Start() {
 
 func (r *Recorder) armWatchTick() {
 	epoch := r.epoch
-	r.sched.After(r.cfg.WatchInterval, func() {
+	tick := r.cfg.TickSched
+	if tick == nil {
+		tick = r.sched
+	}
+	tick.After(r.cfg.WatchInterval, func() {
 		if r.epoch != epoch || r.crashed {
 			return
 		}

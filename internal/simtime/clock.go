@@ -1,0 +1,25 @@
+package simtime
+
+// Clock is the scheduling interface the simulation's subsystems (kernels,
+// transport endpoints, recorders) program against. A *Scheduler is a Clock;
+// so is the parallel engine's per-LP view (LPClock), which is how the same
+// kernel code runs unchanged on the serial engine and inside a concurrent
+// execution window.
+//
+// The interface is deliberately the four calls the subsystems actually use:
+// cluster-level drivers (Run, Fired, Pending, ...) keep the concrete
+// *Scheduler and are never called from inside an event.
+type Clock interface {
+	// Now returns the current virtual time as seen by the caller's logical
+	// process: the timestamp of the event being executed.
+	Now() Time
+	// At schedules fn at absolute time t on the caller's logical process.
+	At(t Time, fn func()) Event
+	// After schedules fn at Now()+d on the caller's logical process.
+	After(d Time, fn func()) Event
+	// Cancel removes a pending event scheduled through this clock.
+	Cancel(e Event)
+}
+
+var _ Clock = (*Scheduler)(nil)
+var _ Clock = (*LPClock)(nil)

@@ -1,0 +1,729 @@
+package simtime
+
+// Conservative parallel event execution with byte-identical replay.
+//
+// The serial Scheduler executes the global (at, seq) total order one event
+// at a time. The Engine in this file executes the same order on a worker
+// pool without changing a single observable byte, exploiting the property
+// the paper's medium gives us: stations interact exclusively through the
+// broadcast channel, and a frame occupies the wire for a non-zero
+// transmission time before any other node can observe it. That delay is a
+// hard lower bound on cross-node causality — the classic conservative
+// "lookahead" — so events on different nodes closer together than the
+// lookahead are provably independent and may run concurrently.
+//
+// # Model
+//
+// Every event carries an affinity: the logical process (LP) whose state its
+// callback touches. LP ids are node ids — a kernel, its processes, and its
+// transport endpoint form one LP; a recorder is its own LP. Events
+// scheduled directly on the Scheduler (cluster ticks, chaos injection,
+// medium frame completions) have serial affinity: they may touch anything,
+// so the engine executes them alone, exactly like the serial engine.
+// Subsystems acquire their affinity by scheduling through an LPClock view
+// (Engine.Clock), which tags events with the LP and, inside a window,
+// routes scheduling into per-LP intent buffers instead of the shared heap.
+//
+// # Window protocol
+//
+// The engine repeatedly:
+//
+//  1. Pops the run of pending events with at < horizon, where horizon =
+//     min(t0+lookahead, first serial-affinity event, limit+1) and t0 is the
+//     earliest pending time. Serial events and windows the gate refuses
+//     (faults armed, tracing on) fall back to Scheduler.Step — the serial
+//     engine verbatim.
+//  2. Groups the window by LP. A single-LP window executes inline on the
+//     coordinating goroutine with direct heap access — literally the serial
+//     execution sequence, no synchronization. This matters because at
+//     realistic loads most windows hold one event.
+//  3. A multi-LP window runs each LP's batch on the worker pool. Workers
+//     never touch shared state: Now() reads the LP-local clock, At/After
+//     append intents, Cancel marks the target dead (own-LP only), and
+//     medium sends are captured as deferred closures (Engine.Defer).
+//     Intents that land inside the window on their own LP are executed
+//     locally in (at, creation) order — the serial order restricted to that
+//     LP, which is sufficient because LP states are disjoint.
+//  4. At the barrier, a deterministic replay merge reconstructs the serial
+//     engine's behavior exactly: executed events are popped from a priority
+//     queue in (at, seq) order, and each event's recorded intents are
+//     re-applied in creation order — assigning every At call the sequence
+//     number the serial engine would have assigned at that position,
+//     running every deferred medium send with the virtual clock set to its
+//     serial execution time, and applying deferred cancels. New events
+//     whose time falls beyond the window are pushed with those exact serial
+//     (at, seq) keys, so the heap after the barrier is byte-for-byte the
+//     heap the serial engine would hold.
+//
+// # Why this is byte-identical
+//
+// Within a window, two events on different LPs share no state (LP
+// disjointness; cross-LP interaction flows through the medium, whose
+// lookahead keeps effects out of the window, or through serial-affinity
+// events, which bound the window). Per LP, local execution follows (at,
+// creation) order, which equals the serial total order restricted to that
+// LP because sequence numbers are assigned in creation order. The replay
+// merge then regenerates the global interleaving for everything that
+// outlives the window — sequence numbers, medium state mutations, heap
+// contents — in exact serial order. Induction over windows gives equality
+// of the full execution trace, which the scale/sweep determinism oracles
+// assert empirically.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// serialAff marks events that may touch arbitrary state; the engine
+// executes them exactly like the serial scheduler.
+const serialAff int32 = -1
+
+// EngineStats counts how the engine actually executed a run; tests use it
+// to prove the parallel paths were exercised, experiments report it.
+type EngineStats struct {
+	SerialSteps   uint64 // events executed via the serial fallback
+	InlineWindows uint64 // single-LP windows executed inline
+	InlineEvents  uint64
+	ParWindows    uint64 // multi-LP windows executed on the pool
+	ParEvents     uint64 // events executed inside parallel windows
+	ParLPs        uint64 // sum of LP counts over parallel windows
+}
+
+// Engine drives a Scheduler with the conservative windowed protocol above.
+// Construct one per cluster; it is not safe to share across clusters.
+type Engine struct {
+	s         *Scheduler
+	workers   int
+	lookahead Time
+	gate      func() bool
+
+	lps    []*lpCtx
+	clocks []LPClock
+
+	inRound bool
+	horizon Time
+	batch   []*eventNode
+
+	groups    []*lpCtx
+	roundNext atomic.Int64
+	startCh   chan struct{}
+	wg        sync.WaitGroup
+	helpers   int
+	panicMu   sync.Mutex
+	panicked  any
+
+	pq []replayEnt
+
+	stats EngineStats
+}
+
+// NewEngine returns an engine executing s on up to workers goroutines for a
+// simulation with lps logical processes (LP ids 0..lps-1).
+func NewEngine(s *Scheduler, workers, lps int) *Engine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &Engine{s: s, workers: workers}
+	e.lps = make([]*lpCtx, lps)
+	e.clocks = make([]LPClock, lps)
+	for i := range e.lps {
+		e.lps[i] = &lpCtx{eng: e, lp: int32(i)}
+		e.clocks[i] = LPClock{eng: e, lp: int32(i)}
+	}
+	return e
+}
+
+// SetLookahead installs the medium-derived safe horizon: the minimum
+// virtual delay between an action on one LP and its earliest possible
+// effect on another. Zero disables windowing (every event steps serially).
+func (e *Engine) SetLookahead(d Time) { e.lookahead = d }
+
+// Lookahead returns the installed lookahead.
+func (e *Engine) Lookahead() Time { return e.lookahead }
+
+// SetGate installs a predicate consulted before each window: parallel
+// execution is attempted only while it returns true. Clusters gate on
+// "no faults armed, tracing off, single recorder" — conditions under which
+// the LP-disjointness argument holds.
+func (e *Engine) SetGate(f func() bool) { e.gate = f }
+
+// Clock returns the scheduling view for LP lp. The returned pointer is
+// stable for the engine's lifetime.
+func (e *Engine) Clock(lp int) *LPClock { return &e.clocks[lp] }
+
+// InRound reports whether a parallel window is currently executing. Media
+// use it to decide between sending directly and capturing via Defer.
+func (e *Engine) InRound() bool { return e.inRound }
+
+// Stats returns execution counters accumulated so far.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// Defer captures a barrier operation from LP lp's executing event: fn runs
+// at the merge, in this event's exact serial position, with the virtual
+// clock set to the event's timestamp. Media capture sends this way so that
+// shared medium state (FIFO busy time, wire stats, completion scheduling)
+// mutates in serial order. Panics outside a window.
+func (e *Engine) Defer(lp int, fn func()) {
+	if !e.inRound {
+		panic("simtime: Defer outside a parallel window")
+	}
+	ctx := e.lps[lp]
+	ctx.ops = append(ctx.ops, winOp{fn: fn})
+}
+
+// Run is the engine's counterpart of Scheduler.Run: fire events until the
+// queue drains or the clock passes limit, returning the number fired.
+// Same-seed runs produce byte-identical results to Scheduler.Run.
+func (e *Engine) Run(limit Time) uint64 {
+	s := e.s
+	start := s.fired
+	if e.workers > 1 {
+		e.startHelpers()
+		defer e.stopHelpers()
+	}
+	for !s.halted && len(s.events) > 0 {
+		next := s.events[0]
+		if next.at > limit {
+			s.now = limit
+			break
+		}
+		if e.workers <= 1 || e.lookahead <= 0 || next.aff == serialAff ||
+			(e.gate != nil && !e.gate()) {
+			s.Step()
+			e.stats.SerialSteps++
+			continue
+		}
+		horizon := next.at + e.lookahead
+		if horizon > limit+1 || horizon < next.at {
+			horizon = limit + 1
+		}
+		if e.soloWindow(horizon) {
+			// The window would hold exactly one event; executing it is
+			// literally one serial step, so skip the window bookkeeping.
+			// At realistic loads (mean event spacing >> lookahead) this is
+			// the dominant path.
+			s.Step()
+			e.stats.InlineWindows++
+			e.stats.InlineEvents++
+			continue
+		}
+		batch, horizon := e.popWindow(horizon)
+		if singleLP(batch) {
+			e.runInline(batch)
+			continue
+		}
+		e.runWindow(batch, horizon)
+	}
+	if len(s.events) == 0 && s.now < limit {
+		s.now = limit
+	}
+	return s.fired - start
+}
+
+// soloWindow reports whether the pending window [events[0].at, horizon)
+// holds exactly one event. The second-earliest pending time in a 4-ary heap
+// is the minimum over the root's children (indices 1..4), so the check is
+// O(arity) with no pops.
+func (e *Engine) soloWindow(horizon Time) bool {
+	s := e.s
+	n := len(s.events)
+	if n <= 1 {
+		return true
+	}
+	end := heapArity + 1
+	if end > n {
+		end = n
+	}
+	second := s.events[1].at
+	for i := 2; i < end; i++ {
+		if at := s.events[i].at; at < second {
+			second = at
+		}
+	}
+	return second >= horizon
+}
+
+// popWindow removes the window's events from the heap in (at, seq) order.
+// A serial-affinity event bounds the window: it stays queued and shrinks
+// the horizon to its timestamp, so in-window intents cannot jump past it.
+func (e *Engine) popWindow(horizon Time) ([]*eventNode, Time) {
+	s := e.s
+	e.batch = e.batch[:0]
+	for len(s.events) > 0 {
+		top := s.events[0]
+		if top.at >= horizon {
+			break
+		}
+		if top.aff == serialAff {
+			horizon = top.at
+			break
+		}
+		n := s.popMin()
+		n.idx = -2
+		n.ref = -1
+		e.batch = append(e.batch, n)
+	}
+	return e.batch, horizon
+}
+
+// singleLP reports whether every event in the batch belongs to one LP.
+func singleLP(batch []*eventNode) bool {
+	lp := batch[0].aff
+	for _, n := range batch[1:] {
+		if n.aff != lp {
+			return false
+		}
+	}
+	return true
+}
+
+// runInline executes a single-LP window on the coordinating goroutine with
+// direct scheduler access — the serial engine's execution sequence exactly,
+// including interleaving with any events the window's callbacks push at
+// earlier (at, seq) positions, and honoring mid-window cancels and halts.
+func (e *Engine) runInline(batch []*eventNode) {
+	s := e.s
+	e.stats.InlineWindows++
+	for i, n := range batch {
+		if s.halted {
+			// Re-queue the unexecuted tail; seq is intact, so heap order
+			// is restored exactly.
+			for _, m := range batch[i:] {
+				if !m.dead {
+					s.push(m)
+				} else {
+					s.recycle(m)
+				}
+			}
+			return
+		}
+		// The callback may have scheduled events ordered before n.
+		for len(s.events) > 0 && lessNode(s.events[0], n) {
+			s.Step()
+		}
+		if n.dead {
+			s.recycle(n)
+			continue
+		}
+		s.now = n.at
+		s.fired++
+		e.stats.InlineEvents++
+		fn := n.fn
+		s.recycle(n)
+		fn()
+	}
+}
+
+// --- multi-LP windows -------------------------------------------------------
+
+// winOp is one recorded side effect of an event executed inside a window,
+// replayed in creation order at the merge. Exactly one field is set:
+// n — an At intent; fn — a deferred barrier closure (medium send);
+// ev — a deferred cancel of a heap event.
+type winOp struct {
+	n  *eventNode
+	fn func()
+	ev Event
+}
+
+// execRec is one executed event: its timestamp, its (assigned) sequence
+// number, and the slice of its recorded ops.
+type execRec struct {
+	at         Time
+	seq        uint64
+	ops0, ops1 int32
+}
+
+// localEnt orders an LP's in-window work: window roots first (creation
+// order = pop order), then intents in creation order — the serial total
+// order restricted to the LP.
+type localEnt struct {
+	at  Time
+	ord uint64
+	n   *eventNode
+}
+
+// lpCtx is one LP's window execution state.
+type lpCtx struct {
+	eng   *Engine
+	lp    int32
+	now   Time
+	ord   uint64
+	roots []*eventNode
+	local []localEnt
+	ops   []winOp
+	execs []execRec
+	free  []*eventNode
+	fired uint64
+}
+
+// alloc arms an intent node owned by this LP.
+func (c *lpCtx) alloc() *eventNode {
+	var n *eventNode
+	if k := len(c.free); k > 0 {
+		n = c.free[k-1]
+		c.free[k-1] = nil
+		c.free = c.free[:k-1]
+	} else {
+		n = &eventNode{}
+	}
+	n.gen++
+	n.dead = false
+	n.idx = -2
+	n.ref = -1
+	n.aff = c.lp
+	return n
+}
+
+func (c *lpCtx) localPush(ent localEnt) {
+	c.local = append(c.local, ent)
+	i := len(c.local) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessLocal(c.local[i], c.local[p]) {
+			break
+		}
+		c.local[i], c.local[p] = c.local[p], c.local[i]
+		i = p
+	}
+}
+
+func (c *lpCtx) localPop() localEnt {
+	top := c.local[0]
+	last := len(c.local) - 1
+	c.local[0] = c.local[last]
+	c.local = c.local[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && lessLocal(c.local[l], c.local[m]) {
+			m = l
+		}
+		if r < last && lessLocal(c.local[r], c.local[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		c.local[i], c.local[m] = c.local[m], c.local[i]
+		i = m
+	}
+	return top
+}
+
+func lessLocal(a, b localEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.ord < b.ord
+}
+
+// run executes the LP's window batch plus every intent that lands inside
+// the window on this LP, in (at, creation) order.
+func (c *lpCtx) run() {
+	for i, n := range c.roots {
+		c.localPush(localEnt{at: n.at, ord: uint64(i), n: n})
+	}
+	c.ord = uint64(len(c.roots))
+	for len(c.local) > 0 {
+		ent := c.localPop()
+		n := ent.n
+		if n.dead {
+			continue
+		}
+		c.now = n.at
+		rec := int32(len(c.execs))
+		c.execs = append(c.execs, execRec{at: n.at, ops0: int32(len(c.ops))})
+		n.ref = rec
+		n.idx = -1
+		fn := n.fn
+		n.fn = nil
+		c.fired++
+		fn()
+		c.execs[rec].ops1 = int32(len(c.ops))
+	}
+}
+
+func (c *lpCtx) reset() {
+	c.roots = c.roots[:0]
+	c.local = c.local[:0]
+	c.ops = c.ops[:0]
+	c.execs = c.execs[:0]
+	c.fired = 0
+}
+
+// runWindow executes a multi-LP window on the pool and merges at the
+// barrier.
+func (e *Engine) runWindow(batch []*eventNode, horizon Time) {
+	e.horizon = horizon
+	e.groups = e.groups[:0]
+	for _, n := range batch {
+		ctx := e.lps[n.aff]
+		if len(ctx.roots) == 0 {
+			e.groups = append(e.groups, ctx)
+		}
+		ctx.roots = append(ctx.roots, n)
+	}
+	e.stats.ParWindows++
+	e.stats.ParLPs += uint64(len(e.groups))
+
+	e.roundNext.Store(0)
+	e.inRound = true
+	helpers := e.helpers
+	if helpers > len(e.groups)-1 {
+		helpers = len(e.groups) - 1
+	}
+	e.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		e.startCh <- struct{}{}
+	}
+	e.drainGroups()
+	e.wg.Wait()
+	e.inRound = false
+	if p := e.panicked; p != nil {
+		e.panicked = nil
+		panic(p)
+	}
+	e.merge()
+}
+
+func (e *Engine) drainGroups() {
+	defer func() {
+		if p := recover(); p != nil {
+			e.panicMu.Lock()
+			if e.panicked == nil {
+				e.panicked = p
+			}
+			e.panicMu.Unlock()
+		}
+	}()
+	for {
+		i := e.roundNext.Add(1) - 1
+		if i >= int64(len(e.groups)) {
+			return
+		}
+		e.groups[i].run()
+	}
+}
+
+func (e *Engine) startHelpers() {
+	e.helpers = e.workers - 1
+	ch := make(chan struct{}, e.helpers)
+	e.startCh = ch
+	for i := 0; i < e.helpers; i++ {
+		go func() {
+			// Range over the captured channel, not the field: a later Run
+			// re-creates the pool, and lingering goroutines from this one
+			// must keep draining their own (closed) channel only.
+			for range ch {
+				e.drainGroups()
+				e.wg.Done()
+			}
+		}()
+	}
+}
+
+func (e *Engine) stopHelpers() {
+	close(e.startCh)
+	e.helpers = 0
+}
+
+// replayEnt is one executed event awaiting replay, keyed (at, seq).
+type replayEnt struct {
+	at  Time
+	seq uint64
+	ctx *lpCtx
+	rec int32
+}
+
+// merge is the deterministic replay: walk the window's executed events in
+// serial (at, seq) order and re-apply each one's recorded ops in creation
+// order, assigning the exact sequence numbers the serial engine would have
+// and running deferred closures with the clock at their serial times.
+func (e *Engine) merge() {
+	s := e.s
+	for _, n := range e.batch {
+		if n.ref < 0 {
+			// Cancelled before execution; consumed no sequence numbers.
+			s.recycle(n)
+			continue
+		}
+		e.pqPush(replayEnt{at: n.at, seq: n.seq, ctx: e.lps[n.aff], rec: n.ref})
+		s.recycle(n)
+	}
+	for len(e.pq) > 0 {
+		ent := e.pqPop()
+		s.now = ent.at
+		rec := ent.ctx.execs[ent.rec]
+		for _, op := range ent.ctx.ops[rec.ops0:rec.ops1] {
+			switch {
+			case op.n != nil:
+				n := op.n
+				n.seq = s.seq
+				s.seq++
+				switch {
+				case n.dead:
+					// Scheduled then cancelled inside the window: the
+					// serial engine would have pushed and removed it.
+					ctx := e.lps[n.aff]
+					n.fn = nil
+					n.ref = -1
+					ctx.free = append(ctx.free, n)
+				case n.ref >= 0:
+					// Executed locally; replay its ops at its serial
+					// position.
+					ctx := e.lps[n.aff]
+					e.pqPush(replayEnt{at: n.at, seq: n.seq, ctx: ctx, rec: n.ref})
+					n.fn = nil
+					ctx.free = append(ctx.free, n)
+				default:
+					// Outlives the window: enters the heap with its exact
+					// serial key.
+					s.push(n)
+				}
+			case op.fn != nil:
+				op.fn()
+			default:
+				e.applyCancel(op.ev)
+			}
+		}
+	}
+	for _, ctx := range e.groups {
+		s.fired += ctx.fired
+		e.stats.ParEvents += ctx.fired
+		ctx.reset()
+	}
+}
+
+// applyCancel completes a deferred cancel of a heap event. The target was
+// eagerly marked dead (for Pending/Cancelled visibility); here it leaves
+// the heap, as the serial engine's Cancel would have done immediately.
+func (e *Engine) applyCancel(ev Event) {
+	n := ev.n
+	if n == nil || n.gen != ev.gen || !n.dead || n.idx < 0 {
+		return
+	}
+	e.s.removeAt(n.idx)
+	e.s.recycle(n)
+}
+
+func (e *Engine) pqPush(ent replayEnt) {
+	e.pq = append(e.pq, ent)
+	i := len(e.pq) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessReplay(e.pq[i], e.pq[p]) {
+			break
+		}
+		e.pq[i], e.pq[p] = e.pq[p], e.pq[i]
+		i = p
+	}
+}
+
+func (e *Engine) pqPop() replayEnt {
+	top := e.pq[0]
+	last := len(e.pq) - 1
+	e.pq[0] = e.pq[last]
+	e.pq = e.pq[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && lessReplay(e.pq[l], e.pq[m]) {
+			m = l
+		}
+		if r < last && lessReplay(e.pq[r], e.pq[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		e.pq[i], e.pq[m] = e.pq[m], e.pq[i]
+		i = m
+	}
+	return top
+}
+
+func lessReplay(a, b replayEnt) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// --- per-LP clock view ------------------------------------------------------
+
+// LPClock is the Clock a logical process schedules through. Outside a
+// window it passes through to the Scheduler, tagging events with the LP's
+// affinity; inside a window it reads the LP-local clock and buffers
+// scheduling as intents for the merge. Only the LP's own executing event
+// may call it during a window — which is guaranteed structurally, because
+// the clock is wired into exactly that LP's kernel, transport, and
+// recorder at construction.
+type LPClock struct {
+	eng *Engine
+	lp  int32
+}
+
+// Now returns the executing event's timestamp.
+func (c *LPClock) Now() Time {
+	e := c.eng
+	if e.inRound {
+		return e.lps[c.lp].now
+	}
+	return e.s.now
+}
+
+// At schedules fn at t on this LP.
+func (c *LPClock) At(t Time, fn func()) Event {
+	e := c.eng
+	if !e.inRound {
+		return e.s.atAff(c.lp, t, fn)
+	}
+	ctx := e.lps[c.lp]
+	if t < ctx.now {
+		panic(fmt.Sprintf("simtime: event scheduled in the past: %v < %v", t, ctx.now))
+	}
+	n := ctx.alloc()
+	n.at, n.fn = t, fn
+	ctx.ops = append(ctx.ops, winOp{n: n})
+	if t < e.horizon {
+		ctx.localPush(localEnt{at: t, ord: ctx.ord, n: n})
+		ctx.ord++
+	}
+	return Event{n: n, gen: n.gen}
+}
+
+// After schedules fn at Now()+d on this LP.
+func (c *LPClock) After(d Time, fn func()) Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simtime: negative delay %v", d))
+	}
+	return c.At(c.Now()+d, fn)
+}
+
+// Cancel removes a pending event scheduled through this clock. Inside a
+// window, in-window targets (roots and intents) are marked dead and
+// skipped; heap targets are marked dead eagerly — so Pending and Cancelled
+// answer as the serial engine would — and leave the heap at the merge.
+func (c *LPClock) Cancel(ev Event) {
+	e := c.eng
+	if !e.inRound {
+		e.s.Cancel(ev)
+		return
+	}
+	n := ev.n
+	if n == nil || n.gen != ev.gen || n.dead || n.idx == -1 {
+		return
+	}
+	if n.aff != c.lp {
+		panic("simtime: cross-LP cancel inside a parallel window")
+	}
+	n.dead = true
+	if n.idx >= 0 {
+		ctx := e.lps[c.lp]
+		ctx.ops = append(ctx.ops, winOp{ev: ev})
+	}
+}

@@ -1,0 +1,376 @@
+package simtime
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The engine's contract is byte-identity with the serial scheduler, so the
+// tests here are differential: a randomized multi-LP simulation model — LPs
+// that chatter through a FIFO shared medium, schedule bursts of short and
+// long follow-ups, and cancel each other's stale work — is run on the plain
+// scheduler and on the engine at several worker counts, and every externally
+// observable quantity (per-LP state hashes, medium state, event counts, the
+// clock) must match exactly. The model deliberately mirrors the cluster's
+// structure: per-LP scheduling through LPClock, medium sends captured via
+// Defer inside windows, frame completions as serial-affinity events.
+
+// splitmix64 advances *x and returns the next value of a SplitMix64 stream —
+// a tiny deterministic PRNG private to each model LP.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x100000001b3
+	return h
+}
+
+// modelSim is the shared world: the scheduler/engine pair, the LPs, and a
+// FIFO medium whose busy-until chain and delivery log are shared mutable
+// state that must only ever mutate in serial order.
+type modelSim struct {
+	s       *Scheduler
+	eng     *Engine // nil for the plain serial reference
+	lps     []*modelLP
+	frame   Time // medium transmission time (== the engine's lookahead)
+	horizon Time // LPs stop seeding new work past this virtual time
+	medBusy Time
+	medHash uint64
+	sends   int
+	deliv   int
+}
+
+type modelLP struct {
+	sim     *modelSim
+	id      int
+	clk     Clock
+	rng     uint64
+	hash    uint64
+	steps   int
+	pending []Event
+}
+
+func newModelSim(eng *Engine, s *Scheduler, lps int, seed uint64) *modelSim {
+	m := &modelSim{
+		s:       s,
+		eng:     eng,
+		frame:   500 * Microsecond,
+		horizon: 40 * Millisecond,
+	}
+	for i := 0; i < lps; i++ {
+		lp := &modelLP{sim: m, id: i, rng: seed + uint64(i)*0x9e37, hash: uint64(i) + 1}
+		if eng != nil {
+			lp.clk = eng.Clock(i)
+		} else {
+			lp.clk = s
+		}
+		m.lps = append(m.lps, lp)
+	}
+	return m
+}
+
+// seed schedules each LP's first step at a staggered sub-lookahead offset so
+// the very first window already spans several LPs.
+func (m *modelSim) seed() {
+	for _, lp := range m.lps {
+		lp := lp
+		lp.clk.At(Time(lp.id+1)*20*Microsecond, lp.step)
+	}
+}
+
+func (l *modelLP) schedule(d Time) {
+	l.pending = append(l.pending, l.clk.After(d, l.step))
+}
+
+func (l *modelLP) step() {
+	m := l.sim
+	now := l.clk.Now()
+	l.steps++
+	l.hash = mix(l.hash, uint64(now)^uint64(l.id)<<32)
+	r := splitmix64(&l.rng)
+	if now >= m.horizon {
+		return
+	}
+	switch r % 8 {
+	case 0, 1, 2:
+		// Short follow-up: usually lands inside the current window.
+		l.schedule(Time(30+r%300) * Microsecond)
+	case 3, 4:
+		// Long follow-up: outlives the window, re-enters the heap.
+		l.schedule(Time(1+r%4) * Millisecond)
+	case 5:
+		// Schedule a decoy and cancel it immediately: in a parallel window
+		// this exercises the intent-cancel path; serially, heap removal.
+		ev := l.clk.After(Time(40+r%100)*Microsecond, l.step)
+		l.schedule(Time(60+r%200) * Microsecond)
+		l.clk.Cancel(ev)
+		l.hash = mix(l.hash, 0xdead)
+	case 6:
+		// Cancel the oldest still-tracked event (may already have fired —
+		// stale-handle cancels must be no-ops on both engines).
+		if len(l.pending) > 0 {
+			l.clk.Cancel(l.pending[0])
+			l.pending = l.pending[1:]
+		}
+		l.schedule(Time(80+r%160) * Microsecond)
+	default:
+		// Broadcast a frame to the next LP through the shared medium.
+		m.send(l.id)
+		l.schedule(Time(50+r%250) * Microsecond)
+	}
+	if len(l.pending) > 32 {
+		l.pending = l.pending[len(l.pending)-16:]
+	}
+}
+
+// send transmits on the shared FIFO medium. Inside a parallel window the
+// mutation is deferred to the merge barrier (exactly how lan.Perfect captures
+// sends); otherwise it runs inline. Either way it executes with the clock at
+// the sending event's serial time, in serial order.
+func (m *modelSim) send(src int) {
+	do := func() {
+		start := m.s.Now()
+		if m.medBusy > start {
+			start = m.medBusy
+		}
+		end := start + m.frame
+		m.medBusy = end
+		m.sends++
+		m.medHash = mix(m.medHash, uint64(end)^uint64(src)<<8)
+		dst := m.lps[(src+1)%len(m.lps)]
+		// Frame completion is a serial-affinity event: it touches the medium
+		// and the destination LP, like lan's complete/deliver path.
+		m.s.At(end, func() {
+			m.deliv++
+			m.medHash = mix(m.medHash, uint64(m.s.Now()))
+			dst.hash = mix(dst.hash, uint64(src)+0xbeef)
+			if m.s.Now() < m.horizon {
+				dst.clk.At(m.s.Now()+Time(10)*Microsecond, dst.step)
+			}
+		})
+	}
+	if m.eng != nil && m.eng.InRound() {
+		m.eng.Defer(src, do)
+		return
+	}
+	do()
+}
+
+// fingerprint reduces the model's externally observable state to a string.
+func (m *modelSim) fingerprint() string {
+	out := fmt.Sprintf("now=%d fired=%d pending=%d sends=%d deliv=%d busy=%d med=%x\n",
+		m.s.Now(), m.s.Fired(), m.s.Pending(), m.sends, m.deliv, m.medBusy, m.medHash)
+	for _, lp := range m.lps {
+		out += fmt.Sprintf("lp%d steps=%d hash=%x\n", lp.id, lp.steps, lp.hash)
+	}
+	return out
+}
+
+// runModel drives the model: a mid-run fingerprint (heap still populated —
+// catches divergence in queued state) plus the drained end state.
+func runModel(workers, lps int, seed uint64) (string, EngineStats) {
+	s := NewScheduler()
+	var eng *Engine
+	if workers > 0 {
+		eng = NewEngine(s, workers, lps)
+	}
+	m := newModelSim(eng, s, lps, seed)
+	if eng != nil {
+		eng.SetLookahead(m.frame)
+	}
+	m.seed()
+	run := func(limit Time) {
+		if eng != nil {
+			eng.Run(limit)
+		} else {
+			s.Run(limit)
+		}
+	}
+	run(17 * Millisecond) // mid-run cut, deliberately not window-aligned
+	fp := m.fingerprint()
+	run(m.horizon + 50*Millisecond)
+	fp += m.fingerprint()
+	var st EngineStats
+	if eng != nil {
+		st = eng.Stats()
+	}
+	return fp, st
+}
+
+// TestEngineMatchesSerial is the core differential oracle: the serial
+// scheduler, the engine in serial-fallback mode (workers=1), and the engine
+// at 2/4/8 workers must produce identical fingerprints for several seeds.
+func TestEngineMatchesSerial(t *testing.T) {
+	for _, lps := range []int{2, 5, 16} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			want, _ := runModel(0, lps, seed) // plain serial scheduler
+			for _, workers := range []int{1, 2, 4, 8} {
+				got, st := runModel(workers, lps, seed)
+				if got != want {
+					t.Fatalf("lps=%d seed=%d workers=%d diverged from serial:\n--- serial ---\n%s--- engine ---\n%s",
+						lps, seed, workers, want, got)
+				}
+				if workers > 1 && st.ParWindows == 0 && st.InlineWindows == 0 {
+					t.Fatalf("lps=%d seed=%d workers=%d: no windows executed (stats %+v) — the parallel path was never exercised", lps, seed, workers, st)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineParallelWindowsExercised pins that the model genuinely reaches
+// multi-LP windows (otherwise TestEngineMatchesSerial would vacuously pass
+// through the serial fallback).
+func TestEngineParallelWindowsExercised(t *testing.T) {
+	_, st := runModel(4, 16, 3)
+	if st.ParWindows == 0 {
+		t.Fatalf("no multi-LP windows executed: %+v", st)
+	}
+	if st.ParEvents == 0 {
+		t.Fatalf("no events executed inside parallel windows: %+v", st)
+	}
+}
+
+// TestEngineDoubleRunIdentical runs the engine twice with the same seed —
+// the same oracle the 256-node cluster test applies, at unit scale.
+func TestEngineDoubleRunIdentical(t *testing.T) {
+	a, _ := runModel(4, 8, 42)
+	b, _ := runModel(4, 8, 42)
+	if a != b {
+		t.Fatalf("same-seed engine runs diverged:\n--- run 1 ---\n%s--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestEngineDegenerateLookahead: with zero lookahead (an Ether-style medium
+// whose steady-state randomness forbids windowing) the engine must execute
+// every event through the serial fallback and still match the serial
+// scheduler exactly.
+func TestEngineDegenerateLookahead(t *testing.T) {
+	want, _ := runModel(0, 8, 9)
+	s := NewScheduler()
+	eng := NewEngine(s, 4, 8)
+	eng.SetLookahead(0) // degenerate: no safe horizon at all
+	m := newModelSim(eng, s, 8, 9)
+	m.seed()
+	eng.Run(17 * Millisecond)
+	fp := m.fingerprint()
+	eng.Run(m.horizon + 50*Millisecond)
+	fp += m.fingerprint()
+	if fp != want {
+		t.Fatalf("zero-lookahead engine diverged from serial:\n--- serial ---\n%s--- engine ---\n%s", want, fp)
+	}
+	st := eng.Stats()
+	if st.ParWindows != 0 || st.InlineWindows != 0 {
+		t.Fatalf("zero lookahead must disable windowing entirely: %+v", st)
+	}
+	if st.SerialSteps == 0 {
+		t.Fatalf("expected serial fallback steps: %+v", st)
+	}
+}
+
+// TestEngineGateClosed: a closed gate (faults armed, tracing on) must force
+// serial execution while still producing identical results.
+func TestEngineGateClosed(t *testing.T) {
+	want, _ := runModel(0, 8, 11)
+	s := NewScheduler()
+	eng := NewEngine(s, 4, 8)
+	m := newModelSim(eng, s, 8, 11)
+	eng.SetLookahead(m.frame)
+	eng.SetGate(func() bool { return false })
+	m.seed()
+	eng.Run(17 * Millisecond)
+	fp := m.fingerprint()
+	eng.Run(m.horizon + 50*Millisecond)
+	fp += m.fingerprint()
+	if fp != want {
+		t.Fatalf("gated engine diverged from serial:\n--- serial ---\n%s--- engine ---\n%s", want, fp)
+	}
+	if st := eng.Stats(); st.ParWindows != 0 || st.InlineWindows != 0 {
+		t.Fatalf("closed gate must disable windowing: %+v", st)
+	}
+}
+
+// TestWindowCancelSemantics pins the Event handle semantics inside a
+// parallel window: a window-held root reports Pending until cancelled, an
+// in-window intent can be cancelled before it runs, a cross-window heap
+// event cancelled from inside a window leaves the queue by the barrier, and
+// none of the cancelled callbacks ever fire.
+func TestWindowCancelSemantics(t *testing.T) {
+	s := NewScheduler()
+	eng := NewEngine(s, 2, 2)
+	eng.SetLookahead(Millisecond)
+
+	var intentFired, heapFired, rootFired bool
+	var intentEv, heapEv Event
+	clk0, clk1 := eng.Clock(0), eng.Clock(1)
+
+	// Pre-schedule the far heap event on LP0 (outside any window).
+	heapEv = clk0.At(5*Millisecond, func() { heapFired = true })
+	// A root for LP0 inside the first window that LP0's first event cancels.
+	rootEv := clk0.At(30*Microsecond, func() { rootFired = true })
+
+	clk0.At(10*Microsecond, func() {
+		if !eng.InRound() {
+			t.Error("expected to execute inside a parallel window")
+		}
+		// In-window intent: schedule, observe, cancel.
+		intentEv = clk0.At(clk0.Now()+50*Microsecond, func() { intentFired = true })
+		if !intentEv.Pending() {
+			t.Error("fresh intent must report Pending")
+		}
+		clk0.Cancel(intentEv)
+		if intentEv.Pending() || !intentEv.Cancelled() {
+			t.Error("cancelled intent must be !Pending and Cancelled")
+		}
+		// Window-held sibling root: pending until cancelled.
+		if !rootEv.Pending() {
+			t.Error("window-held root must report Pending")
+		}
+		clk0.Cancel(rootEv)
+		if rootEv.Pending() || !rootEv.Cancelled() {
+			t.Error("cancelled root must be !Pending and Cancelled")
+		}
+		// Far heap event: eager dead-mark, removal at the barrier.
+		clk0.Cancel(heapEv)
+		if heapEv.Pending() || !heapEv.Cancelled() {
+			t.Error("cancelled heap event must be !Pending and Cancelled")
+		}
+	})
+	// Give LP1 an event in the same window so the window is multi-LP.
+	clk1.At(20*Microsecond, func() {})
+
+	eng.Run(10 * Millisecond)
+	if intentFired || heapFired || rootFired {
+		t.Fatalf("cancelled events fired: intent=%v heap=%v root=%v", intentFired, heapFired, rootFired)
+	}
+	if st := eng.Stats(); st.ParWindows == 0 {
+		t.Fatalf("scenario was expected to execute as a multi-LP window: %+v", st)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("cancelled heap event still queued: %d pending", s.Pending())
+	}
+}
+
+// TestEngineRunReturnsFired mirrors Scheduler.Run's contract for the return
+// value and the clock's final position.
+func TestEngineRunReturnsFired(t *testing.T) {
+	s := NewScheduler()
+	eng := NewEngine(s, 2, 2)
+	eng.SetLookahead(Millisecond)
+	n := 0
+	eng.Clock(0).At(10*Microsecond, func() { n++ })
+	eng.Clock(1).At(20*Microsecond, func() { n++ })
+	fired := eng.Run(Second)
+	if fired != 2 || n != 2 {
+		t.Fatalf("fired=%d n=%d, want 2/2", fired, n)
+	}
+	if s.Now() != Second {
+		t.Fatalf("clock at %v after drained run, want %v", s.Now(), Second)
+	}
+}

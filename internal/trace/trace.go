@@ -112,6 +112,15 @@ type Log struct {
 	// the filter rejects from retention — with Detail formatted. It is the
 	// streaming tap online monitors (internal/monitor) subscribe through.
 	observer func(Event)
+	// obsBuf, when obsCap > 0, batches observer callbacks: events queue
+	// here and the observer sees them in bursts at flush points (buffer
+	// full, FlushObservers, Enable/SetObserver transitions) instead of one
+	// virtual call per event — trimming the monitored hot path. Events are
+	// delivered in exact record order, so batching is invisible to any
+	// observer that keys its verdicts on Event.At rather than on when the
+	// callback happened to run.
+	obsBuf []Event
+	obsCap int
 }
 
 // New returns an enabled log reading timestamps from clock.
@@ -143,13 +152,56 @@ func (l *Log) SetFilter(f func(Event) bool) {
 // observation too, keeping the hot path's disabled cost at one branch.
 func (l *Log) SetObserver(f func(Event)) {
 	if l != nil {
+		l.FlushObservers() // pending events belong to the outgoing observer
 		l.observer = f
 	}
 }
 
-// Enable turns recording on or off.
+// SetObserverRing sets the observer batch size: n > 0 buffers up to n
+// events between observer deliveries (see FlushObservers for when the
+// buffer drains), n <= 0 restores the default synchronous per-event
+// callback. The cluster's monitor wiring batches one stall-window's worth
+// of events per flush.
+func (l *Log) SetObserverRing(n int) {
+	if l == nil {
+		return
+	}
+	l.FlushObservers()
+	if n <= 0 {
+		l.obsCap, l.obsBuf = 0, nil
+		return
+	}
+	l.obsCap = n
+	l.obsBuf = make([]Event, 0, n)
+}
+
+// FlushObservers delivers any batched events to the observer immediately,
+// in record order. Harmless (and O(1)) when nothing is buffered. Callers
+// that read observer-derived state mid-run — the monitor's tick, a
+// violation query — flush first so the observer is current.
+func (l *Log) FlushObservers() {
+	if l == nil || len(l.obsBuf) == 0 {
+		return
+	}
+	f := l.observer
+	buf := l.obsBuf
+	l.obsBuf = l.obsBuf[:0]
+	if f == nil {
+		return
+	}
+	for i := range buf {
+		f(buf[i])
+	}
+}
+
+// Enable turns recording on or off. Turning recording off flushes any
+// batched observer events: everything recorded while enabled reaches the
+// observer.
 func (l *Log) Enable(on bool) {
 	if l != nil {
+		if !on {
+			l.FlushObservers()
+		}
 		l.enabled = on
 	}
 }
@@ -244,7 +296,14 @@ func (l *Log) record(kind Kind, node int, msg, subject string, seq uint64, forma
 		e.Detail = fmt.Sprintf(format, args...)
 	}
 	if l.observer != nil {
-		l.observer(e)
+		if l.obsCap > 0 {
+			l.obsBuf = append(l.obsBuf, e)
+			if len(l.obsBuf) >= l.obsCap {
+				l.FlushObservers()
+			}
+		} else {
+			l.observer(e)
+		}
 	}
 	if !keep {
 		return

@@ -243,3 +243,75 @@ func TestKindStrings(t *testing.T) {
 		t.Errorf("Event.String = %q", s)
 	}
 }
+
+// TestObserverRingBatching covers the batched observer path: events buffer
+// up to the ring size, arrive in record order at every flush point (ring
+// full, explicit flush, Enable(false), observer swap), and nil-log /
+// no-observer cases stay safe.
+func TestObserverRingBatching(t *testing.T) {
+	var nilLog *Log
+	nilLog.SetObserverRing(8) // must not panic
+	nilLog.FlushObservers()
+
+	l := New(func() simtime.Time { return 0 })
+	var got []string
+	l.SetObserver(func(e Event) { got = append(got, e.Subject) })
+	l.SetObserverRing(3)
+
+	l.Add(KindSend, 0, "a", "x")
+	l.Add(KindSend, 0, "b", "x")
+	if len(got) != 0 {
+		t.Fatalf("observer ran before the ring filled: %v", got)
+	}
+	l.Add(KindSend, 0, "c", "x") // fills the ring
+	if want := []string{"a", "b", "c"}; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("ring-full flush delivered %v, want %v", got, want)
+	}
+
+	l.Add(KindSend, 0, "d", "x")
+	l.FlushObservers()
+	if got[len(got)-1] != "d" {
+		t.Fatalf("explicit flush missed the buffered event: %v", got)
+	}
+	l.FlushObservers() // empty flush is a no-op
+	if len(got) != 4 {
+		t.Fatalf("empty flush delivered events: %v", got)
+	}
+
+	// Enable(false) flushes the tail.
+	l.Add(KindSend, 0, "e", "x")
+	l.Enable(false)
+	if got[len(got)-1] != "e" {
+		t.Fatalf("disable did not flush: %v", got)
+	}
+	l.Add(KindSend, 0, "dropped", "x") // disabled: recorded nowhere
+	l.Enable(true)
+
+	// Swapping the observer delivers pending events to the outgoing one.
+	l.Add(KindSend, 0, "f", "x")
+	var got2 []string
+	l.SetObserver(func(e Event) { got2 = append(got2, e.Subject) })
+	if got[len(got)-1] != "f" || len(got2) != 0 {
+		t.Fatalf("observer swap misdelivered: old=%v new=%v", got, got2)
+	}
+
+	// Restoring synchronous mode flushes and then delivers per event.
+	l.Add(KindSend, 0, "g", "x")
+	l.SetObserverRing(0)
+	if got2[len(got2)-1] != "g" {
+		t.Fatalf("SetObserverRing(0) did not flush: %v", got2)
+	}
+	l.Add(KindSend, 0, "h", "x")
+	if got2[len(got2)-1] != "h" {
+		t.Fatalf("synchronous delivery broken after ring removal: %v", got2)
+	}
+
+	// Events the retention filter rejects still reach a batched observer.
+	l.SetObserverRing(4)
+	l.SetFilter(func(e Event) bool { return false })
+	l.Add(KindSend, 0, "filtered", "x")
+	l.FlushObservers()
+	if got2[len(got2)-1] != "filtered" {
+		t.Fatalf("filtered event missed the batched observer: %v", got2)
+	}
+}

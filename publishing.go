@@ -213,6 +213,16 @@ type Config struct {
 	// MonitorStallWindow overrides the stall detector's virtual window
 	// (0 = monitor.DefaultStallWindow).
 	MonitorStallWindow simtime.Time
+
+	// ParWorkers > 1 runs the cluster on the conservative parallel event
+	// engine (internal/simtime.Engine) with that many worker goroutines.
+	// Same-seed runs stay byte-identical to the serial engine: the engine
+	// executes concurrently only inside the medium's lookahead window and
+	// only while no fault is armed and tracing is off, falling back to
+	// serial stepping everywhere else. 0 or 1 (the default) is the plain
+	// serial scheduler. Requires a single recorder; clusters with a
+	// recorder trio stay serial.
+	ParWorkers int
 }
 
 // DefaultConfig returns a publishing-enabled cluster of n nodes on a
@@ -250,6 +260,7 @@ func DefaultConfig(n int) Config {
 type Cluster struct {
 	cfg   Config
 	sched *simtime.Scheduler
+	eng   *simtime.Engine // nil unless cfg.ParWorkers > 1
 	rng   *simtime.Rand
 	log   *trace.Log
 	mets  *metrics.Registry
@@ -318,6 +329,21 @@ func New(cfg Config) *Cluster {
 		um.UseMetrics(c.mets)
 	}
 
+	// Parallel engine (opt-in). Recorder trios reach across node state on
+	// every replicated store, so parallel windows are restricted to the
+	// single-recorder configurations; everything else still runs, just
+	// serially, and produces the same bytes either way.
+	if cfg.ParWorkers > 1 && nRecs <= 1 {
+		c.eng = simtime.NewEngine(c.sched, cfg.ParWorkers, cfg.Nodes+nRecs+cfg.Spares)
+		c.eng.SetLookahead(c.med.Lookahead())
+		c.eng.SetGate(func() bool {
+			return c.med.Faults().Quiet() && !c.log.Enabled()
+		})
+		if se, ok := c.med.(interface{ SetEngine(*simtime.Engine) }); ok {
+			se.SetEngine(c.eng)
+		}
+	}
+
 	tcfg := cfg.Transport
 	tcfg.Metrics = c.mets
 	// Pre-size every endpoint's per-destination tables for the full station
@@ -352,7 +378,15 @@ func New(cfg Config) *Cluster {
 		if i >= cfg.Nodes {
 			id = NodeID(i + nRecs) // skip the recorder ids
 		}
-		c.kernels[id] = demos.NewKernel(id, env)
+		kenv := env
+		if c.eng != nil {
+			// Each kernel (and the transport endpoint it builds) schedules
+			// through its own per-LP clock, so events it creates carry its
+			// node id as the parallel affinity. A kernel reboot reuses this
+			// env, so the wiring survives crash/recovery cycles.
+			kenv.Sched = c.eng.Clock(int(id))
+		}
+		c.kernels[id] = demos.NewKernel(id, kenv)
 	}
 	if cfg.Monitor {
 		c.attachMonitor()
@@ -417,7 +451,16 @@ func New(cfg Config) *Cluster {
 			if err != nil {
 				panic(fmt.Sprintf("publishing: open stable store: %v", err))
 			}
-			rec := recorder.New(rcfg, c.sched, c.rng.Fork(), c.log, c.med, store, rtcfg)
+			var rclk simtime.Clock = c.sched
+			if c.eng != nil {
+				// The recorder is its own LP: taps, publishes, and flush
+				// ticks touch only its state. The watchdog tick is not —
+				// its crash verdicts reboot other nodes' kernels — so it
+				// runs on the serial scheduler between windows.
+				rclk = c.eng.Clock(int(cfg.Nodes + i))
+				rcfg.TickSched = c.sched
+			}
+			rec := recorder.New(rcfg, rclk, c.rng.Fork(), c.log, c.med, store, rtcfg)
 			rec.Start()
 			c.recs = append(c.recs, rec)
 			c.stores = append(c.stores, store)
@@ -515,17 +558,31 @@ func (c *Cluster) attachMonitor() {
 	}, c.sched.Now)
 	c.log.SetDetailed(true)
 	c.log.SetObserver(c.mon.Observe)
+	// Batch observer callbacks: the monitor consumes events in bursts (one
+	// ring per stall half-window at most) instead of one indirect call per
+	// trace event, trimming the monitored hot path. The monitor's verdicts
+	// key on Event.At, so batching shifts no violation timestamps.
+	c.log.SetObserverRing(monitorObserverRing)
 	// Check for stalls twice per window so a pause is caught within 1.5
 	// windows of its start. The tick only reads state, so arming it cannot
-	// perturb an otherwise-identical run.
+	// perturb an otherwise-identical run. Each tick first drains the
+	// observer ring so the stall detector sees every event up to now.
 	half := c.mon.StallWindow() / 2
 	var tick func()
 	tick = func() {
+		c.log.FlushObservers()
 		c.mon.Tick()
 		c.sched.After(half, tick)
 	}
 	c.sched.After(half, tick)
 }
+
+// monitorObserverRing is the monitor's observer batch size. Big enough to
+// amortize the per-event callback, small enough that a burst of trace
+// events between stall ticks cannot defer a violation's discovery far past
+// the virtual instant it happened (verdict timestamps use Event.At either
+// way).
+const monitorObserverRing = 256
 
 func (c *Cluster) armCheckpointTick() {
 	if c.cfg.CheckpointPolicy == CheckpointNone || c.cfg.CheckpointTick <= 0 || !c.cfg.Publishing {
@@ -586,7 +643,17 @@ func (c *Cluster) Spawn(node NodeID, spec ProcSpec) (ProcID, error) {
 }
 
 // Run advances virtual time by d.
-func (c *Cluster) Run(d Time) { c.sched.Run(c.sched.Now() + d) }
+func (c *Cluster) Run(d Time) {
+	limit := c.sched.Now() + d
+	if c.eng != nil {
+		c.eng.Run(limit)
+	} else {
+		c.sched.Run(limit)
+	}
+	// Deliver any tail of batched observer events so monitor verdicts are
+	// complete when the caller inspects them after the run.
+	c.log.FlushObservers()
+}
 
 // RunUntil advances time until pred holds or the deadline passes, checking
 // every step. It reports whether pred held.
@@ -609,6 +676,10 @@ func (c *Cluster) Now() Time { return c.sched.Now() }
 
 // Scheduler exposes the event scheduler (experiments schedule load with it).
 func (c *Cluster) Scheduler() *simtime.Scheduler { return c.sched }
+
+// Engine exposes the parallel event engine, or nil when the cluster runs
+// the plain serial scheduler (Config.ParWorkers <= 1).
+func (c *Cluster) Engine() *simtime.Engine { return c.eng }
 
 // Kernel returns a node's kernel.
 func (c *Cluster) Kernel(node NodeID) *demos.Kernel { return c.kernels[node] }
@@ -652,8 +723,12 @@ func (c *Cluster) Trace() *trace.Log { return c.log }
 func (c *Cluster) Metrics() *metrics.Registry { return c.mets }
 
 // Monitor returns the online invariant monitor, or nil unless Config.Monitor
-// was set.
-func (c *Cluster) Monitor() *monitor.Monitor { return c.mon }
+// was set. Batched observer events are flushed first, so the monitor's
+// verdicts reflect everything traced up to this instant.
+func (c *Cluster) Monitor() *monitor.Monitor {
+	c.log.FlushObservers()
+	return c.mon
+}
 
 // Store returns the primary recorder's stable store (nil when publishing
 // is off).

@@ -12,6 +12,7 @@ package publishing_test
 import (
 	"bytes"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"publishing"
@@ -27,11 +28,26 @@ const scaleNodes = 256
 // snapshot (every counter the stack touched, in registration order) and
 // the recorder's stable-store database record by record.
 func runScaleFingerprint(t *testing.T) (metricsText, storeDump []byte) {
+	return runSimFingerprint(t, scaleNodes, 0)
+}
+
+// runSimFingerprint is runScaleFingerprint at an arbitrary node count and
+// worker count: workers > 1 runs the scenario on the conservative parallel
+// engine, whose whole contract is that these bytes come out identical.
+func runSimFingerprint(t *testing.T, nodes, workers int) (metricsText, storeDump []byte) {
 	t.Helper()
-	s := buildSimCluster(scaleNodes, simClusterSeed, false)
+	s := buildSimCluster(nodes, simClusterSeed, false, func(cfg *publishing.Config) {
+		cfg.ParWorkers = workers
+	})
 	s.c.Run(s.horizon + 2*simtime.Second)
-	if got, want := *s.delivered, int64(s.sent); got != want {
+	if got, want := atomic.LoadInt64(s.delivered), int64(s.sent); got != want {
 		t.Fatalf("delivered %d of %d messages", got, want)
+	}
+	if workers > 1 {
+		st := s.c.Engine().Stats()
+		if st.InlineWindows+st.ParWindows == 0 {
+			t.Fatalf("parallel engine never opened a window (stats %+v); the gate or lookahead wiring is broken", st)
+		}
 	}
 
 	var mbuf bytes.Buffer
@@ -91,6 +107,42 @@ func TestChaosSmoke256(t *testing.T) {
 			res := chaos.Run(sched, publishing.ChaosBuild(opt), chaos.DefaultOptions())
 			if !res.Passed {
 				t.Errorf("chaos run failed at %d nodes:\n%s", scaleNodes, res.Report)
+				for _, v := range res.Violations {
+					t.Logf("violation: %+v", v)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosSmoke1024 pushes the chaos scenario to 1024 bystander stations —
+// the width the queuing analysis in EXPERIMENTS.md sizes the parallel
+// engine against — on both engines. The parallel leg runs with the gate
+// held closed by design (faults armed, monitor tracing on), so what it
+// proves is that ParWorkers is always safe to leave on: the serial
+// fallback must preserve every invariant at full width.
+func TestChaosSmoke1024(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1024-node chaos runs; skipped in -short (tier-1) mode")
+	}
+	// Seed 6 keeps ChaosSeedVariant on a single recorder (the parallel
+	// engine declines recorder trios), so both legs run the same scenario.
+	const seed = 6
+	for _, par := range []int{0, 4} {
+		par := par
+		name := "serial"
+		if par > 1 {
+			name = fmt.Sprintf("parallel%d", par)
+		}
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opt := publishing.ChaosSeedVariant(seed)
+			opt.Nodes = 1024
+			opt.ParWorkers = par
+			sched := chaos.Generate(seed, chaos.DefaultLimits())
+			res := chaos.Run(sched, publishing.ChaosBuild(opt), chaos.DefaultOptions())
+			if !res.Passed {
+				t.Errorf("chaos run failed at 1024 nodes (%s):\n%s", name, res.Report)
 				for _, v := range res.Violations {
 					t.Logf("violation: %+v", v)
 				}
